@@ -1,0 +1,24 @@
+"""Benchmark-harness configuration.
+
+Every benchmark regenerates one paper figure/table (in fast mode) and
+times a representative kernel of it under pytest-benchmark, printing the
+same rows/series the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-full",
+        action="store_true",
+        default=False,
+        help="run full parameter sweeps instead of the fast subsets",
+    )
+
+
+@pytest.fixture(scope="session")
+def fast_mode(request) -> bool:
+    return not request.config.getoption("--paper-full")

@@ -1,0 +1,39 @@
+"""Bench: Fig. 6 — NetPIPE latency table and bandwidth curves.
+
+Regenerates the Fig. 6(a) latency rows (printed) and benchmarks the
+ping-pong kernel per stack so relative stack costs can be tracked.
+"""
+
+import pytest
+
+from repro.experiments import fig6_pingpong
+from repro.workloads.netpipe import measure_latency
+
+
+@pytest.mark.parametrize(
+    "stack",
+    ["p4", "vdummy", "vcausal", "manetho", "logon",
+     "vcausal-noel", "manetho-noel", "logon-noel"],
+)
+def test_pingpong_latency_benchmark(benchmark, stack):
+    latency, _ = benchmark(measure_latency, stack, nbytes=1, reps=60)
+    paper = fig6_pingpong.PAPER_LATENCY_US[stack]
+    # latency within 10% of the paper's measurement
+    assert latency * 1e6 == pytest.approx(paper, rel=0.10)
+
+
+def test_regenerate_fig6_table(benchmark, fast_mode, capsys):
+    module_run = fig6_pingpong.run
+    results = benchmark.pedantic(module_run, kwargs=dict(fast=fast_mode), iterations=1, rounds=1)
+    report = fig6_pingpong.format_report(results)
+    with capsys.disabled():
+        print("\n" + report)
+    # shape assertions on the regenerated artifact
+    lat = results["latency_us"]
+    assert lat["p4"] < lat["vdummy"] < lat["vcausal"]
+    for proto in ("vcausal", "manetho", "logon"):
+        assert lat[f"{proto}-noel"] > lat[proto]
+    bw = results["bandwidth_mbit"]
+    top = max(results["sizes"])
+    assert bw["raw-tcp"][top] > bw["p4"][top]
+    assert bw["vdummy"][top] > bw["vcausal"][top]

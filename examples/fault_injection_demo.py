@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Fault injection demo: kill a rank mid-run and watch causal recovery.
+
+Runs the NAS CG skeleton under the Vcausal protocol, kills rank 1 halfway
+through, and prints the recovery timeline: detection, checkpoint fetch,
+event collection (from the Event Logger or from every peer), replay, and
+the total cost of the fault.  The application result is verified against
+the fault-free run — the whole point of message logging is that nobody can
+tell the difference afterwards.
+
+Run:  python examples/fault_injection_demo.py
+"""
+
+from repro import Cluster, OneShotFaults
+from repro.workloads.nas import make_app
+
+
+def run(stack: str, fault_at: float | None):
+    app, _ = make_app("cg", "A", nprocs=8, iterations=3)
+    plan = OneShotFaults([(fault_at, 1)]) if fault_at else None
+    cluster = Cluster(
+        nprocs=8,
+        app_factory=app,
+        stack=stack,
+        checkpoint_policy="round-robin",
+        checkpoint_interval_s=0.05,
+        fault_plan=plan,
+    )
+    return cluster.run()
+
+
+def main():
+    base = run("vcausal", None)
+    print(f"fault-free execution: {base.sim_time*1e3:.1f} ms, "
+          f"result = {base.results[0]}")
+
+    for stack, label in (("vcausal", "with Event Logger"),
+                         ("vcausal-noel", "without Event Logger")):
+        ref = run(stack, None)
+        result = run(stack, fault_at=ref.sim_time / 2)
+        rec = result.probes.recoveries[0]
+        assert result.results == base.results, "recovery corrupted the run!"
+        print(f"\n--- {label} ---")
+        print(f"  fault injected at      {rec.fault_time*1e3:9.2f} ms (rank {rec.rank})")
+        print(f"  detected at            {rec.detect_time*1e3:9.2f} ms")
+        print(f"  restarted at           {rec.restart_time*1e3:9.2f} ms")
+        print(f"  event collection took  {rec.event_collection_s*1e3:9.3f} ms "
+              f"({rec.events_collected} determinants from {rec.event_sources} "
+              f"source{'s' if rec.event_sources != 1 else ''})")
+        print(f"  replay finished at     {rec.replay_end_time*1e3:9.2f} ms "
+              f"({result.probes.total('replayed_receptions'):.0f} receptions replayed)")
+        print(f"  total run time         {result.sim_time*1e3:9.2f} ms "
+              f"(+{100*(result.sim_time/ref.sim_time-1):.1f}% vs fault-free)")
+        print(f"  results identical to fault-free run: "
+              f"{result.results == base.results}")
+
+
+if __name__ == "__main__":
+    main()

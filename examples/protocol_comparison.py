@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Compare the three causal protocols, with and without the Event Logger.
+
+Reproduces the paper's comparison methodology on one workload (the NAS LU
+skeleton — the most communication-intensive pattern): for each protocol it
+reports the four criteria of the paper:
+
+  (a) piggyback computation cost (send + receive),
+  (b) piggyback size (% of exchanged data, events carried),
+  (c) application performance (Mflop/s),
+  (d) fault recovery performance (event collection after a mid-run kill).
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from repro import Cluster, OneShotFaults
+from repro.metrics.reporting import format_table
+from repro.workloads.nas import make_app
+
+STACKS = (
+    "vcausal", "manetho", "logon",
+    "vcausal-noel", "manetho-noel", "logon-noel",
+)
+
+
+def measure(stack: str):
+    app, _ = make_app("lu", "A", nprocs=16, iterations=2)
+    result = Cluster(nprocs=16, app_factory=app, stack=stack).run()
+    assert result.finished
+
+    # recovery: kill rank 0 halfway and measure event collection
+    app2, _ = make_app("lu", "A", nprocs=16, iterations=2)
+    faulty = Cluster(
+        nprocs=16, app_factory=app2, stack=stack,
+        fault_plan=OneShotFaults([(result.sim_time / 2, 0)]),
+    ).run()
+    rec = faulty.probes.recoveries[0]
+    assert faulty.results == result.results
+
+    p = result.probes
+    return [
+        stack,
+        f"{(p.pb_send_time_s + p.pb_recv_time_s) / 16 * 1e3:.2f} ms",
+        f"{p.piggyback_fraction:.2f} %",
+        f"{p.total('piggyback_events_sent'):.0f}",
+        f"{result.mflops:.0f}",
+        f"{rec.event_collection_s * 1e3:.3f} ms",
+    ]
+
+
+def main():
+    rows = [measure(stack) for stack in STACKS]
+    print(
+        format_table(
+            ["protocol", "(a) pb compute", "(b) pb size", "events",
+             "(c) Mflop/s", "(d) recovery"],
+            rows,
+            title="Causal protocol comparison on NAS LU class A, 16 processes",
+        )
+    )
+    print(
+        "\nReadings (paper §V): the Event Logger collapses piggyback volume"
+        "\nand computation for every protocol, levels the three protocols'"
+        "\napplication performance, and makes recovery a single bulk fetch."
+    )
+
+
+if __name__ == "__main__":
+    main()

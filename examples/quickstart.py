@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: write an MPI-style app, run it on a fault-tolerant stack.
+
+Applications are Python generators over an mpi4py-flavoured context:
+``yield from ctx.send(...)``, ``msg = yield from ctx.recv(...)``,
+collectives, and ``ctx.compute_flops(...)`` for computation.  The cluster
+simulates the full MPICH-V runtime: communication daemons, the causal
+message logging protocol, and the Event Logger stable server.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Cluster
+
+
+def app(ctx):
+    """Each rank: exchange halos around a ring, then reduce a checksum."""
+    s = ctx.state                       # durable state (restartable style)
+    s.setdefault("it", 0)
+    s.setdefault("acc", 0)
+    while s["it"] < 20:
+        yield from ctx.checkpoint_poll()        # safe point for checkpoints
+        right = (ctx.rank + 1) % ctx.size
+        left = (ctx.rank - 1) % ctx.size
+        msg = yield from ctx.sendrecv(
+            right, 4096, left, tag=1, payload=(ctx.rank, s["it"])
+        )
+        s["acc"] += msg.payload[0] * (s["it"] + 1)
+        yield from ctx.compute_flops(2e6)       # 2 Mflop of local work
+        s["it"] += 1
+    total = yield from ctx.allreduce(8, s["acc"])
+    return total
+
+
+def main():
+    print(f"{'stack':14s} {'time':>9s} {'piggyback':>10s} {'result':>8s}")
+    for stack in ("vdummy", "vcausal", "vcausal-noel"):
+        result = Cluster(nprocs=8, app_factory=app, stack=stack).run()
+        assert result.finished
+        print(
+            f"{stack:14s} {result.sim_time*1e3:8.2f}ms "
+            f"{result.probes.piggyback_fraction:9.3f}% "
+            f"{result.results[0]:8d}"
+        )
+    print("\nAll stacks produce identical results; the causal protocol "
+          "adds piggyback traffic, and the Event Logger removes most of it.")
+
+
+if __name__ == "__main__":
+    main()

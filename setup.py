@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package and no network, so PEP 660
+editable installs (`pip install -e .` with build isolation) cannot build.
+This shim lets `pip install -e . --no-build-isolation --no-use-pep517`
+perform a classic setuptools develop install.  All real metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

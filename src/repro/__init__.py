@@ -1,0 +1,45 @@
+"""repro — reproduction of *Impact of Event Logger on Causal Message Logging
+Protocols for Fault Tolerant MPI* (Bouteiller, Collin, Hérault, Lemarinier,
+Cappello — IPPS 2005).
+
+The package implements the MPICH-V framework as a deterministic
+discrete-event simulation, the three causal message-logging protocols the
+paper compares (Vcausal, Manetho, LogOn), the Event Logger stable server,
+the pessimistic and coordinated-checkpoint baselines, the NAS benchmark
+communication skeletons and a NetPIPE-style ping-pong — plus one experiment
+module per paper figure/table.
+
+Quick start::
+
+    from repro import Cluster, STACKS
+
+    def app(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, 4096, payload="ping")
+        else:
+            msg = yield from ctx.recv(0)
+        value = yield from ctx.allreduce(8, ctx.rank)
+        return value
+
+    result = Cluster(nprocs=4, app_factory=app, stack="vcausal").run()
+    print(result.sim_time, result.probes.piggyback_fraction)
+"""
+
+from repro.runtime.cluster import Cluster, RunResult
+from repro.runtime.config import CAUSAL_PROTOCOLS, FIGURE_STACKS, STACKS, ClusterConfig, StackSpec
+from repro.runtime.failure import OneShotFaults, PeriodicFaults
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "RunResult",
+    "ClusterConfig",
+    "StackSpec",
+    "STACKS",
+    "FIGURE_STACKS",
+    "CAUSAL_PROTOCOLS",
+    "OneShotFaults",
+    "PeriodicFaults",
+    "__version__",
+]

@@ -1,0 +1,173 @@
+"""Antecedence graph shared by the Manetho and LogOn protocols.
+
+The graph (paper Fig. 3) records the causal relationship between
+non-deterministic events:
+
+* vertices are reception determinants, identified by (creator, clock);
+* each vertex has an implicit *chain* edge from (creator, clock-1); and
+* a *cross* edge from (sender, dep) — the sender's last non-deterministic
+  event preceding the emission of the received message.
+
+Because each creator's events form a chain, "X knows event (c, k)" implies
+"X knows every event of c with clock ≤ k" (the chain is in the causal
+past), so per-peer knowledge is a vector of per-creator clock bounds, and
+knowledge discovery is a traversal that walks unknown chain segments and
+follows their cross edges.
+
+Every vertex also carries a Lamport stamp ``L(e) = 1 + max(L(chain pred),
+L(cross pred))``; sorting by it yields a linear extension of the causal
+order, which is exactly the partial-order piggyback LogOn ships.
+
+EL acknowledgements *prune* the graph: stable vertices and their incident
+edges are dropped ("information avoiding the emission of unnecessary
+events" is lost — pruned cross edges make knowledge discovery conservative,
+never wrong, because stable events are excluded from piggybacks anyway).
+"""
+
+from __future__ import annotations
+
+from repro.core.events import Determinant, EventSequence, StableVector
+
+
+class AntecedenceGraph:
+    """Prunable DAG of determinants with knowledge-traversal support."""
+
+    def __init__(self, nprocs: int):
+        self.nprocs = nprocs
+        self.seqs: dict[int, EventSequence] = {}
+        #: (creator, clock) -> Lamport stamp
+        self.lamport: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _seq(self, creator: int) -> EventSequence:
+        seq = self.seqs.get(creator)
+        if seq is None:
+            seq = self.seqs[creator] = EventSequence(creator)
+        return seq
+
+    def __contains__(self, event_id: tuple[int, int]) -> bool:
+        seq = self.seqs.get(event_id[0])
+        return seq is not None and seq.get(event_id[1]) is not None
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self.seqs.values())
+
+    def get(self, creator: int, clock: int) -> Determinant | None:
+        seq = self.seqs.get(creator)
+        return seq.get(clock) if seq is not None else None
+
+    # ------------------------------------------------------------------ #
+    # construction
+
+    def add(self, det: Determinant) -> bool:
+        """Insert a vertex (and its implicit edges); False if already present."""
+        seq = self._seq(det.creator)
+        if det.clock > seq.max_clock:
+            seq.append(det)
+            added = True
+        elif seq.get(det.clock) is not None:
+            return False
+        else:
+            added = seq.merge([det]) > 0
+        if added:
+            chain = self.lamport.get((det.creator, det.clock - 1), 0)
+            cross = self.lamport.get((det.sender, det.dep), 0) if det.dep > 0 else 0
+            self.lamport[(det.creator, det.clock)] = 1 + max(chain, cross)
+        return added
+
+    def prune(self, stable: StableVector) -> int:
+        """Drop vertices made stable by the EL; returns vertices dropped."""
+        dropped = 0
+        for creator, seq in self.seqs.items():
+            bound = stable[creator]
+            lo = seq.min_clock
+            if lo is None or bound < lo:
+                continue
+            for det in seq.tail_after(0):
+                if det.clock > bound:
+                    break
+                self.lamport.pop((creator, det.clock), None)
+            dropped += seq.prune_upto(bound)
+        return dropped
+
+    # ------------------------------------------------------------------ #
+    # knowledge traversal
+
+    def raise_knowledge(
+        self,
+        start: tuple[int, int],
+        known: list[int],
+        stable: StableVector,
+    ) -> int:
+        """Raise per-creator ``known`` bounds to cover the causal past of
+        ``start``; returns the number of graph steps visited (the cost).
+
+        The traversal walks each creator's unknown chain segment once and
+        follows cross edges.  Segments below the stable clock are pruned
+        from the graph, making the traversal stop there (conservative).
+        """
+        visits = 0
+        stack = [start]
+        while stack:
+            creator, clock = stack.pop()
+            bound = known[creator]
+            if clock <= bound:
+                continue
+            known[creator] = clock
+            seq = self.seqs.get(creator)
+            if seq is None:
+                continue
+            # walk the chain segment (bound, clock] following cross edges
+            for det in reversed(seq.tail_after(bound)):
+                if det.clock > clock:
+                    continue
+                visits += 1
+                if det.dep > 0 and det.dep > known[det.sender]:
+                    stack.append((det.sender, det.dep))
+        return visits
+
+    def select_unknown(
+        self,
+        known: list[int],
+        stable: StableVector,
+    ) -> tuple[list[Determinant], int]:
+        """Events not covered by ``known`` or the stable vector.
+
+        Returns (events grouped by creator in clock order, scan cost).
+        """
+        events: list[Determinant] = []
+        visits = 0
+        for creator, seq in self.seqs.items():
+            lo = max(known[creator], stable[creator])
+            tail = seq.tail_after(lo)
+            visits += len(tail)
+            events.extend(tail)
+        return events, visits
+
+    def topological(self, events: list[Determinant]) -> list[Determinant]:
+        """Order ``events`` by a linear extension of the causal order."""
+        lam = self.lamport
+        return sorted(
+            events, key=lambda d: (lam.get((d.creator, d.clock), 0), d.creator, d.clock)
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def events_created_by(self, creator: int) -> list[Determinant]:
+        seq = self.seqs.get(creator)
+        return list(seq) if seq is not None else []
+
+    def export_state(self) -> dict:
+        return {
+            "seqs": {c: list(s) for c, s in self.seqs.items()},
+            "lamport": dict(self.lamport),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.seqs = {}
+        for creator, dets in state["seqs"].items():
+            seq = self._seq(creator)
+            for det in dets:
+                seq.append(det)
+        self.lamport = dict(state["lamport"])

@@ -1,0 +1,30 @@
+"""Coordinated checkpointing baseline (Chandy-Lamport style).
+
+MPICH-V's coordinated protocol takes a global, channel-consistent snapshot
+of all processes; when **any** process fails, **every** process rolls back
+to the last completed snapshot line (the defining weakness at high fault
+frequency, Fig. 1).
+
+No determinants, no piggybacks, no sender-based logs.  The coordination
+itself (synchronizing all ranks at a checkpoint line and draining
+channels) is orchestrated by :mod:`repro.runtime.checkpoint_scheduler`
+with the daemon's checkpoint machinery; on failure the dispatcher performs
+the *global* restart instead of the single-rank restart used by the
+logging protocols.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol_base import VProtocol
+
+
+class CoordinatedProtocol(VProtocol):
+    """Marker: selects global-restart recovery and coordinated snapshots."""
+
+    uses_event_logger = False
+    name = "coordinated"
+
+    #: dispatcher keys on this to restart all ranks instead of one
+    global_restart = True
+    #: checkpoint scheduler keys on this to synchronize checkpoints
+    coordinated_checkpoints = True

@@ -1,0 +1,208 @@
+"""Distributed Event Logger (the paper's §VI future work, implemented).
+
+"Using only one Event Logger for consistency purpose will lead to a
+bottleneck as the number of processes grows.  It is thus necessary to
+investigate how to distribute the logging of events among several Event
+Loggers. ... Assigning a subset of the nodes to one Event Logger seems the
+obvious way to gain scalability.  But in order to keep the good
+performance introduced by the Event Logger in the system, each node has to
+receive the most up to date array of logical clocks already logged."
+
+This module implements exactly that design space:
+
+* ``count`` Event Logger shards; node ``r`` logs to shard ``r % count``
+  (a static subset assignment);
+* every shard is authoritative for the stable clocks of its assigned
+  creators and keeps a (possibly stale) *global view* of the others;
+* acknowledgments carry the shard's merged global view, so nodes can prune
+  events of **all** creators, not just their shard's;
+* two of the paper's proposed synchronization strategies:
+
+  - ``"multicast"`` — each shard periodically multicasts its local slice
+    of logical clocks to the other shards (nodes see fresher vectors on
+    their next ack);
+  - ``"broadcast"`` — shards additionally broadcast the merged vector to
+    every compute node directly (fresher pruning, more traffic).
+
+With ``count=1`` this degenerates to the single EL of the paper's body.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.event_logger import EventLogger
+from repro.core.events import Determinant
+from repro.metrics.probes import ClusterProbes
+from repro.runtime.config import ClusterConfig
+from repro.simulator.engine import Simulator
+from repro.simulator.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.cluster import Cluster
+
+SYNC_STRATEGIES = ("multicast", "broadcast")
+
+
+def shard_host(index: int) -> str:
+    return f"el{index}"
+
+
+class EventLoggerShard(EventLogger):
+    """One shard: a full EL plus a merged global view of its peers."""
+
+    def __init__(self, sim, network, config, probes, nprocs, index: int):
+        super().__init__(sim, network, config, probes, nprocs)
+        self.index = index
+        self.host = shard_host(index)
+        #: freshest clocks known for creators owned by *other* shards
+        self.global_view: list[int] = [0] * nprocs
+
+    def merged_view(self) -> list[int]:
+        """Authoritative local clocks merged with the peer view."""
+        return [
+            max(self.stable_clock[c], self.global_view[c])
+            for c in range(self.nprocs)
+        ]
+
+    def absorb_peer_vector(self, vector: list[int]) -> None:
+        for c, k in enumerate(vector):
+            if k > self.global_view[c]:
+                self.global_view[c] = k
+
+    # override: acks carry the merged global view, and leave from our host
+    def _serve_log(self, src_rank, dets, ack_to, ack_host):
+        self._queued -= 1
+        for det in dets:
+            self._store(det)
+        self.probes.el_determinants_stored += len(dets)
+        vector = self.merged_view()
+        ack_bytes = self.config.el_ack_wire_bytes + 4 * self.nprocs
+        self.network.transfer(
+            self.host,
+            ack_host,
+            ack_bytes,
+            lambda: ack_to(vector),
+            extra_latency=self.config.el_ack_delay_s,
+        )
+
+    # override: recovery replies leave from our host
+    def fetch_events(self, creator, clock_after, reply_to, reply_host):
+        cfg = self.config
+        dets = [d for d in self.store[creator] if d.clock > clock_after]
+        service = 50e-6 + 1.5e-6 * len(dets)
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + service
+        self.probes.el_busy_time_s += service
+        nbytes = cfg.el_ack_wire_bytes + len(dets) * cfg.event_record_bytes
+
+        def _send_reply():
+            self.network.transfer(self.host, reply_host, nbytes, lambda: reply_to(dets))
+
+        self.sim.at(start + service, _send_reply)
+
+
+class EventLoggerGroup:
+    """A set of EL shards plus the synchronization machinery."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: ClusterConfig,
+        probes: ClusterProbes,
+        nprocs: int,
+        count: int = 1,
+        sync_strategy: str = "multicast",
+        sync_interval_s: float = 2e-3,
+        node_hosts: Optional[list[str]] = None,
+    ):
+        if count < 1:
+            raise ValueError("need at least one Event Logger shard")
+        if sync_strategy not in SYNC_STRATEGIES:
+            raise ValueError(f"unknown EL sync strategy {sync_strategy!r}")
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.nprocs = nprocs
+        self.count = count
+        self.sync_strategy = sync_strategy
+        self.sync_interval_s = sync_interval_s
+        self.node_hosts = node_hosts or []
+        self.shards = [
+            EventLoggerShard(sim, network, config, probes, nprocs, k)
+            for k in range(count)
+        ]
+        #: vectors pushed to nodes under the broadcast strategy
+        self.node_vector_sinks: dict[str, Callable[[list[int]], None]] = {}
+        self.sync_rounds = 0
+        self.sync_bytes = 0
+        #: liveness check set by the cluster: the periodic sync stops when
+        #: the run completes, letting the event heap drain
+        self.active_check: Callable[[], bool] = lambda: True
+        if count > 1:
+            sim.schedule(sync_interval_s, self._sync_tick)
+
+    # ------------------------------------------------------------------ #
+
+    def shard_index_for(self, rank: int) -> int:
+        return rank % self.count
+
+    def shard_for(self, rank: int) -> EventLoggerShard:
+        return self.shards[self.shard_index_for(rank)]
+
+    def host_for(self, rank: int) -> str:
+        return shard_host(self.shard_index_for(rank))
+
+    def register_node_sink(
+        self, host: str, sink: Callable[[list[int]], None]
+    ) -> None:
+        """Register a daemon callback for broadcast-strategy vectors."""
+        self.node_vector_sinks[host] = sink
+
+    # ------------------------------------------------------------------ #
+    # synchronization
+
+    def _sync_tick(self) -> None:
+        if not self.active_check():
+            return
+        self.sync_rounds += 1
+        vec_bytes = self.config.el_ack_wire_bytes + 4 * self.nprocs
+        for shard in self.shards:
+            local = shard.merged_view()
+            # multicast the local array of logical clocks to the other ELs
+            for peer in self.shards:
+                if peer is shard:
+                    continue
+                self.sync_bytes += vec_bytes
+                self.network.transfer(
+                    shard.host,
+                    peer.host,
+                    vec_bytes,
+                    lambda p=peer, v=list(local): p.absorb_peer_vector(v),
+                )
+            if self.sync_strategy == "broadcast":
+                # and broadcast it to every compute node directly
+                for host, sink in self.node_vector_sinks.items():
+                    self.sync_bytes += vec_bytes
+                    self.network.transfer(
+                        shard.host,
+                        host,
+                        vec_bytes,
+                        lambda s=sink, v=list(local): s(v),
+                    )
+        self.sim.schedule(self.sync_interval_s, self._sync_tick)
+
+    # ------------------------------------------------------------------ #
+    # aggregate introspection
+
+    def stored_count(self) -> int:
+        return sum(s.stored_count() for s in self.shards)
+
+    def merged_stable(self) -> list[int]:
+        out = [0] * self.nprocs
+        for shard in self.shards:
+            for c, k in enumerate(shard.merged_view()):
+                if k > out[c]:
+                    out[c] = k
+        return out

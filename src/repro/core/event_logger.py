@@ -1,0 +1,152 @@
+"""The Event Logger (EL): stable, asynchronous determinant storage.
+
+The EL is "a single thread server based on a select loop to handle non
+blocking asynchronous communications" (paper §IV-B.4):
+
+* every process sends each reception determinant to the EL
+  **asynchronously** (fire-and-forget, off the critical path);
+* the EL stores it and replies with an acknowledgment carrying the *last
+  event stored for each process* (a full stable vector), letting every
+  process garbage-collect causality information about **all** creators;
+* being single-threaded, it has a finite service rate: at high event rates
+  the ack latency grows and processes cannot prune before their next send
+  — this saturation is what limits the EL's benefit on LU/16 (Fig. 7) and
+  motivates the distributed-EL future work of §VI.
+
+During recovery the EL answers a single bulk query with every determinant
+of the crashed process — one request to one server instead of one to every
+peer, which is the whole Fig. 10 story.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.events import Determinant
+from repro.metrics.probes import ClusterProbes
+from repro.runtime.config import ClusterConfig
+from repro.simulator.engine import Simulator
+from repro.simulator.network import Network
+
+#: host name of the EL's NIC in every deployment
+EL_HOST = "el"
+
+
+class EventLogger:
+    """Single-threaded stable storage for determinants."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: ClusterConfig,
+        probes: ClusterProbes,
+        nprocs: int,
+    ):
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.probes = probes
+        self.nprocs = nprocs
+        #: creator -> clock-ordered stored determinants
+        self.store: dict[int, list[Determinant]] = {r: [] for r in range(nprocs)}
+        #: creator -> highest contiguous stored clock
+        self.stable_clock: list[int] = [0] * nprocs
+        self._busy_until = 0.0
+        self._queued = 0
+
+    # ------------------------------------------------------------------ #
+    # logging path (called at network delivery of a log message)
+
+    def receive_log(
+        self,
+        src_rank: int,
+        dets: tuple[Determinant, ...],
+        ack_to: Callable[[list[int]], None],
+        ack_host: str,
+    ) -> None:
+        """Handle one asynchronous log message from ``src_rank``.
+
+        ``ack_to`` is invoked at the source daemon when the ack message is
+        delivered; it receives the stable vector snapshot taken at ack time.
+        """
+        cfg = self.config
+        self._queued += 1
+        if self._queued > self.probes.el_peak_queue:
+            self.probes.el_peak_queue = self._queued
+        service = cfg.el_service_time_s * max(1, len(dets))
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + service
+        self.probes.el_busy_time_s += service
+        self.sim.at(start + service, self._serve_log, src_rank, dets, ack_to, ack_host)
+
+    def _serve_log(
+        self,
+        src_rank: int,
+        dets: tuple[Determinant, ...],
+        ack_to: Callable[[list[int]], None],
+        ack_host: str,
+    ) -> None:
+        self._queued -= 1
+        for det in dets:
+            self._store(det)
+        self.probes.el_determinants_stored += len(dets)
+        # ack with the full stable vector, after a small batching delay
+        vector = list(self.stable_clock)
+        ack_bytes = self.config.el_ack_wire_bytes + 4 * self.nprocs
+        self.network.transfer(
+            EL_HOST,
+            ack_host,
+            ack_bytes,
+            lambda: ack_to(vector),
+            extra_latency=self.config.el_ack_delay_s,
+        )
+
+    def _store(self, det: Determinant) -> None:
+        lst = self.store[det.creator]
+        if lst and det.clock <= lst[-1].clock:
+            return  # duplicate from a replayed re-execution
+        lst.append(det)
+        if det.clock == self.stable_clock[det.creator] + 1:
+            # advance over any contiguous run already buffered
+            clock = det.clock
+            self.stable_clock[det.creator] = clock
+        elif det.clock > self.stable_clock[det.creator] + 1:
+            # hole (lost in-flight log before a crash): keep, but stability
+            # stays at the contiguous prefix
+            pass
+
+    # ------------------------------------------------------------------ #
+    # recovery path
+
+    def fetch_events(
+        self,
+        creator: int,
+        clock_after: int,
+        reply_to: Callable[[list[Determinant]], None],
+        reply_host: str,
+    ) -> None:
+        """Bulk query used at restart: all stored determinants of
+        ``creator`` with clock > ``clock_after`` in one response.
+
+        Unlike the logging path (one select-loop iteration per incoming
+        determinant), a bulk fetch is a single scan-and-stream of the
+        creator's log: fixed setup plus a small per-event streaming cost.
+        """
+        cfg = self.config
+        dets = [d for d in self.store[creator] if d.clock > clock_after]
+        service = 50e-6 + 1.5e-6 * len(dets)
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + service
+        self.probes.el_busy_time_s += service
+        nbytes = cfg.el_ack_wire_bytes + len(dets) * cfg.event_record_bytes
+
+        def _send_reply():
+            self.network.transfer(EL_HOST, reply_host, nbytes, lambda: reply_to(dets))
+
+        self.sim.at(start + service, _send_reply)
+
+    # ------------------------------------------------------------------ #
+
+    def stored_count(self) -> int:
+        return sum(len(v) for v in self.store.values())

@@ -1,0 +1,198 @@
+"""Determinants, event identifiers and per-creator event sequences.
+
+Message-logging terminology (Alvisi/Marzullo):
+
+* Every *reception* is a non-deterministic event.  Its **determinant**
+  records everything needed to replay it: which message (sender, send
+  sequence number) was delivered as the receiver's ``clock``-th reception.
+* We extend the determinant with ``dep``: the sender's reception clock at
+  emission time.  This is the cross edge of the antecedence graph used by
+  Manetho and LogOn (paper Fig. 3) and is carried by every message anyway
+  (one integer).
+
+An event is identified by ``(creator, clock)``; clocks are contiguous
+per creator, which lets protocols exchange *ranges* of events and lets the
+Event Logger acknowledge with a single per-creator stable clock.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, NamedTuple, Optional
+
+
+class Determinant(NamedTuple):
+    """Determinant #e of one reception event.
+
+    Attributes
+    ----------
+    creator: rank that performed the reception.
+    clock:   the creator's reception sequence number (rsn), 1-based.
+    sender:  rank that sent the delivered message.
+    ssn:     sender's send sequence number on the (sender → creator) channel.
+    dep:     sender's reception clock at emission (antecedence cross edge).
+    """
+
+    creator: int
+    clock: int
+    sender: int
+    ssn: int
+    dep: int
+
+    @property
+    def event_id(self) -> tuple[int, int]:
+        return (self.creator, self.clock)
+
+
+class EventSequence:
+    """Ordered, prunable sequence of one creator's determinants.
+
+    Supports the three operations the protocols need, all O(log n) or
+    amortized O(1):
+
+    * :meth:`append` / :meth:`merge` — add determinants (clock-ordered),
+    * :meth:`tail_after` — all determinants with ``clock > bound`` (the
+      piggyback selection primitive),
+    * :meth:`prune_upto` — drop determinants made stable by an EL ack.
+
+    Pruning is lazy (an offset into the backing lists) with periodic
+    compaction, so no operation is O(n) per call in steady state.
+    """
+
+    __slots__ = ("creator", "_clocks", "_dets", "_offset", "pruned_upto")
+
+    def __init__(self, creator: int):
+        self.creator = creator
+        self._clocks: list[int] = []
+        self._dets: list[Determinant] = []
+        self._offset = 0
+        #: events at or below this clock were pruned (stable) — gone forever
+        self.pruned_upto = 0
+
+    # -- inspection ----------------------------------------------------- #
+
+    def __len__(self) -> int:
+        return len(self._clocks) - self._offset
+
+    @property
+    def max_clock(self) -> int:
+        """Highest clock ever seen (0 when empty and never filled)."""
+        return self._clocks[-1] if self._clocks else 0
+
+    @property
+    def min_clock(self) -> Optional[int]:
+        return self._clocks[self._offset] if self._offset < len(self._clocks) else None
+
+    def __iter__(self):
+        return iter(self._dets[self._offset :])
+
+    def get(self, clock: int) -> Optional[Determinant]:
+        i = bisect_right(self._clocks, clock, lo=self._offset) - 1
+        if i >= self._offset and self._clocks[i] == clock:
+            return self._dets[i]
+        return None
+
+    # -- mutation ------------------------------------------------------- #
+
+    def append(self, det: Determinant) -> None:
+        """Append a determinant with a clock greater than any held."""
+        if det.creator != self.creator:
+            raise ValueError(f"creator mismatch: {det.creator} != {self.creator}")
+        if self._clocks and det.clock <= self._clocks[-1]:
+            raise ValueError(
+                f"non-monotonic append: clock {det.clock} <= {self._clocks[-1]}"
+            )
+        self._clocks.append(det.clock)
+        self._dets.append(det)
+
+    def merge(self, dets: Iterable[Determinant]) -> int:
+        """Insert determinants (any order); returns how many were new.
+
+        Events at or below :attr:`pruned_upto` are stable and stay gone —
+        a late duplicate from an unacknowledged peer must not resurrect
+        them.
+        """
+        added = 0
+        pending: list[Determinant] = []
+        for det in dets:
+            if det.creator != self.creator:
+                raise ValueError("creator mismatch in merge")
+            if det.clock <= self.pruned_upto:
+                continue
+            if self._clocks and det.clock <= self._clocks[-1]:
+                if self.get(det.clock) is None:
+                    pending.append(det)
+                continue
+            self._clocks.append(det.clock)
+            self._dets.append(det)
+            added += 1
+        if pending:
+            # rare path: filling holes below the current max (out-of-order
+            # ranges from different senders); do a sorted rebuild
+            merged = {d.clock: d for d in self._dets[self._offset :]}
+            for det in pending:
+                if det.clock not in merged:
+                    merged[det.clock] = det
+                    added += 1
+            items = sorted(merged.items())
+            self._clocks = [c for c, _ in items]
+            self._dets = [d for _, d in items]
+            self._offset = 0
+        return added
+
+    def tail_after(self, bound: int) -> list[Determinant]:
+        """All determinants with ``clock > bound``, clock-ordered."""
+        i = bisect_right(self._clocks, bound, lo=self._offset)
+        return self._dets[i:]
+
+    def prune_upto(self, clock: int) -> int:
+        """Drop determinants with ``clock <= clock``; returns count dropped."""
+        if clock > self.pruned_upto:
+            self.pruned_upto = clock
+        i = bisect_right(self._clocks, clock, lo=self._offset)
+        dropped = i - self._offset
+        self._offset = i
+        if self._offset > 64 and self._offset * 2 > len(self._clocks):
+            self._clocks = self._clocks[self._offset :]
+            self._dets = self._dets[self._offset :]
+            self._offset = 0
+        return dropped
+
+
+class StableVector:
+    """Per-creator stable clocks acknowledged by the Event Logger.
+
+    ``stable[c] == k`` means every event of creator ``c`` with clock ≤ k is
+    safely stored at the EL and never needs to be piggybacked again.
+    Monotone by construction.
+    """
+
+    __slots__ = ("_v",)
+
+    def __init__(self, nprocs: int):
+        self._v = [0] * nprocs
+
+    def __getitem__(self, creator: int) -> int:
+        return self._v[creator]
+
+    def advance(self, creator: int, clock: int) -> bool:
+        """Raise the stable clock; returns True if it moved."""
+        if clock > self._v[creator]:
+            self._v[creator] = clock
+            return True
+        return False
+
+    def update(self, vector: Iterable[int]) -> bool:
+        """Merge a full stable vector (from an EL ack); True if any moved."""
+        moved = False
+        for c, k in enumerate(vector):
+            if k > self._v[c]:
+                self._v[c] = k
+                moved = True
+        return moved
+
+    def as_list(self) -> list[int]:
+        return list(self._v)
+
+    def __len__(self) -> int:
+        return len(self._v)

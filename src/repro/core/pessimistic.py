@@ -1,0 +1,62 @@
+"""Pessimistic sender-based message logging (MPICH-V2 baseline).
+
+Pessimistic protocols ensure that every event of a process P is safely
+logged on stable storage **before P can impact the system** (i.e. send a
+message).  In MPICH-V2 the payload stays on the sender (sender-based) and
+the determinant goes to the Event Logger synchronously: a send blocks until
+the EL has acknowledged all of the sender's prior reception events.
+
+No causality is ever piggybacked — the cost moved from piggybacks to
+synchronous waits.  Used as the baseline of Fig. 1 (fault resilience) and
+as a comparison point in the examples.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import Determinant, EventSequence
+from repro.core.piggyback import Piggyback
+from repro.core.protocol_base import VProtocol
+
+
+class PessimisticProtocol(VProtocol):
+    """Synchronous determinant logging; empty piggybacks."""
+
+    uses_event_logger = True
+    blocking_on_stability = True
+    name = "pessimistic"
+
+    def __init__(self, rank, nprocs, config, probes):
+        super().__init__(rank, nprocs, config, probes)
+        #: own events not yet acknowledged by the EL
+        self.own = EventSequence(rank)
+
+    def build_piggyback(self, dst: int) -> Piggyback:
+        # nothing rides on messages; stability gating happens in the daemon
+        return Piggyback()
+
+    def on_local_event(self, det: Determinant) -> None:
+        self.own.append(det)
+        self.probes.note_events_held(len(self.own))
+
+    def on_el_ack(self, stable_vector: list[int]) -> None:
+        super().on_el_ack(stable_vector)
+        self.own.prune_upto(self.stable[self.rank])
+
+    def stability_gap(self) -> int:
+        """Own events still unacknowledged (sends must wait for zero)."""
+        return len(self.own)
+
+    def events_created_by(self, creator: int) -> list[Determinant]:
+        return list(self.own) if creator == self.rank else []
+
+    def events_held(self) -> int:
+        return len(self.own)
+
+    def export_state(self) -> dict:
+        return {"own": list(self.own), "stable": self.stable.as_list()}
+
+    def restore_state(self, state: dict) -> None:
+        self.own = EventSequence(self.rank)
+        for det in state["own"]:
+            self.own.append(det)
+        self.stable.update(state["stable"])

@@ -1,0 +1,145 @@
+"""The V-protocol hook API (paper §IV, Fig. 4).
+
+MPICH-V designs fault-tolerance protocols as "a set of hooks called in
+relevant routines of the generic subsystem".  :class:`VProtocol` is that
+hook API; the Vdaemon calls it on every send, every delivery, every EL ack
+and during recovery.  :class:`NoFaultTolerance` is the trivial
+implementation (Vdummy) used to measure the raw framework overhead.
+
+Contract
+--------
+
+Fault-free path (called by :class:`repro.runtime.daemon.Vdaemon`):
+
+* :meth:`build_piggyback` — on the send path, before the wire.  Returns a
+  :class:`~repro.core.piggyback.Piggyback` whose ``build_cost_s`` is charged
+  to the simulated clock and whose ``nbytes`` ride on the message.
+* :meth:`on_local_event` — a new reception determinant was created locally
+  (the daemon assigned the rsn).
+* :meth:`accept_piggyback` — piggybacked events arrived with a message;
+  returns the simulated cost of merging them.
+* :meth:`on_el_ack` — a stable vector arrived from the Event Logger.
+
+Recovery path:
+
+* :meth:`events_created_by` — determinants of ``creator`` this process
+  still holds (peers answer this during no-EL recovery).
+* :meth:`export_state` / :meth:`restore_state` — protocol part of a
+  checkpoint image.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.events import Determinant, StableVector
+from repro.core.piggyback import Piggyback
+from repro.metrics.probes import ProcessProbes
+from repro.runtime.config import ClusterConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.daemon import Vdaemon
+
+
+class VProtocol:
+    """Base class: no-op hooks, shared bookkeeping."""
+
+    #: whether this protocol ships determinants to the Event Logger
+    uses_event_logger = False
+    #: whether sends must block on event stability (pessimistic logging)
+    blocking_on_stability = False
+    #: human-readable protocol name
+    name = "base"
+
+    def __init__(self, rank: int, nprocs: int, config: ClusterConfig, probes: ProcessProbes):
+        self.rank = rank
+        self.nprocs = nprocs
+        self.config = config
+        self.probes = probes
+        self.daemon: Optional["Vdaemon"] = None
+        self.stable = StableVector(nprocs)
+
+    def bind(self, daemon: "Vdaemon") -> None:
+        self.daemon = daemon
+
+    # ------------------------------------------------------------------ #
+    # fault-free hooks
+
+    def build_piggyback(self, dst: int) -> Piggyback:
+        return Piggyback()
+
+    def on_local_event(self, det: Determinant) -> None:
+        """A new local reception event was created (rsn assigned)."""
+
+    def accept_piggyback(self, src: int, pb: Piggyback, dep: int) -> float:
+        """Merge piggybacked causality; returns simulated merge cost (s).
+
+        ``dep`` is the sender's reception clock at emission time (the
+        antecedence cross edge), available to every protocol.
+        """
+        return 0.0
+
+    def on_el_ack(self, stable_vector: list[int]) -> None:
+        self.stable.update(stable_vector)
+
+    # ------------------------------------------------------------------ #
+    # introspection / recovery
+
+    def events_created_by(self, creator: int) -> list[Determinant]:
+        """Determinants of ``creator`` held in volatile memory here."""
+        return []
+
+    def events_held(self) -> int:
+        """Number of determinants currently held (memory footprint)."""
+        return 0
+
+    def volatile_bytes(self) -> int:
+        """Causal-information bytes that join a checkpoint image."""
+        return self.events_held() * self.config.event_record_bytes
+
+    def export_state(self) -> dict:
+        """Deep-copyable protocol state for a checkpoint image."""
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore from :meth:`export_state` output (already deep-copied)."""
+
+
+class NoFaultTolerance(VProtocol):
+    """Vdummy: the trivial hook implementation (no fault tolerance).
+
+    Equivalent to the MPICH-P4 reference implementation; used to measure
+    the raw performance of the generic communication layer.
+    """
+
+    name = "vdummy"
+
+
+def make_protocol(
+    protocol: str,
+    rank: int,
+    nprocs: int,
+    config: ClusterConfig,
+    probes: ProcessProbes,
+) -> VProtocol:
+    """Protocol factory keyed by :class:`~repro.runtime.config.StackSpec` name."""
+    # local imports avoid a cycle (protocol modules import this base)
+    from repro.core.coordinated import CoordinatedProtocol
+    from repro.core.logon import LogOnProtocol
+    from repro.core.manetho import ManethoProtocol
+    from repro.core.pessimistic import PessimisticProtocol
+    from repro.core.vcausal import VcausalProtocol
+
+    classes = {
+        "none": NoFaultTolerance,
+        "vdummy": NoFaultTolerance,
+        "vcausal": VcausalProtocol,
+        "manetho": ManethoProtocol,
+        "logon": LogOnProtocol,
+        "pessimistic": PessimisticProtocol,
+        "coordinated": CoordinatedProtocol,
+    }
+    if protocol not in classes:
+        raise ValueError(f"unknown protocol {protocol!r}")
+    return classes[protocol](rank, nprocs, config, probes)

@@ -1,0 +1,35 @@
+"""Experiment modules: one per paper figure/table.
+
+Each module exposes ``run(fast=...)`` returning a results structure and
+``format_report(results)`` producing the same rows/series the paper
+reports, with the paper's reference values printed side by side.
+
+Run everything::
+
+    python -m repro.experiments.runner --all
+    python -m repro.experiments.runner --experiment fig7 --full
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablation_checkpoint_policies,
+    ablation_distributed_el,
+    fig1_fault_resilience,
+    fig6_pingpong,
+    fig7_piggyback_size,
+    fig8_piggyback_time,
+    fig9_nas_performance,
+    fig10_recovery,
+)
+
+ALL_EXPERIMENTS = {
+    "fig1": fig1_fault_resilience,
+    "fig6": fig6_pingpong,
+    "fig7": fig7_piggyback_size,
+    "fig8": fig8_piggyback_time,
+    "fig9": fig9_nas_performance,
+    "fig10": fig10_recovery,
+    "ablation-el": ablation_distributed_el,
+    "ablation-ckpt": ablation_checkpoint_policies,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

@@ -1,0 +1,81 @@
+"""Ablation — distributed Event Logger (paper §VI, implemented).
+
+The paper's conclusion proposes distributing the event log over several
+Event Loggers and sketches the design space: static node-to-EL assignment,
+with the loggers exchanging their arrays of logical clocks by multicast
+(EL↔EL) or broadcast (EL→nodes).  This ablation quantifies that proposal
+on the workload that saturates a single EL (NAS LU, 16 processes, Fig. 7):
+
+* residual piggyback volume vs number of EL shards,
+* application performance vs number of shards,
+* multicast vs broadcast synchronization traffic and effect.
+"""
+
+from __future__ import annotations
+
+from repro import Cluster, ClusterConfig
+from repro.metrics.reporting import format_table
+from repro.workloads.nas import make_app
+
+
+def run_lu(count: int, strategy: str = "multicast", iterations: int = 2):
+    config = ClusterConfig().with_overrides(
+        el_count=count, el_sync_strategy=strategy
+    )
+    app, _ = make_app("lu", "A", 16, iterations=iterations)
+    result = Cluster(
+        nprocs=16, app_factory=app, stack="vcausal", config=config
+    ).run()
+    assert result.finished
+    return result
+
+
+def run(fast: bool = True) -> dict:
+    iterations = 2 if fast else 6
+    cells = {}
+    for count in (1, 2, 4, 8):
+        for strategy in ("multicast", "broadcast"):
+            if count == 1 and strategy == "broadcast":
+                continue  # no peers to sync with; identical to multicast
+            result = run_lu(count, strategy, iterations)
+            group = result.cluster.event_logger
+            cells[(count, strategy)] = {
+                "pb_percent": result.probes.piggyback_fraction,
+                "mflops": result.mflops,
+                "sync_bytes": group.sync_bytes,
+                "peak_queue": result.probes.el_peak_queue,
+            }
+    return {"cells": cells, "iterations": iterations}
+
+
+def format_report(results: dict) -> str:
+    rows = []
+    for (count, strategy), cell in sorted(results["cells"].items()):
+        rows.append(
+            [
+                count,
+                strategy,
+                f"{cell['pb_percent']:.2f}",
+                f"{cell['mflops']:.0f}",
+                f"{cell['sync_bytes'] / 1024:.0f} KiB",
+                cell["peak_queue"],
+            ]
+        )
+    return format_table(
+        ["EL shards", "sync", "piggyback %", "Mflop/s", "sync traffic", "peak queue"],
+        rows,
+        title=(
+            "Ablation — distributed Event Logger on NAS LU A, 16 processes "
+            "(paper §VI proposal)"
+        ),
+    )
+
+
+def main(fast: bool = True) -> dict:
+    results = run(fast=fast)
+    print(format_report(results))
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Shared helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.runtime.cluster import Cluster, RunResult
+from repro.runtime.config import ClusterConfig
+from repro.runtime.failure import FaultPlan
+from repro.workloads.nas import make_app
+from repro.workloads.nas.common import NasInfo
+
+#: truncated outer-iteration counts used in fast mode (rates/ratios are
+#: stationary after a few iterations; see workloads.nas.common docstring)
+FAST_ITERATIONS = {
+    "bt": 5,
+    "sp": 5,
+    "cg": 3,
+    "lu": 3,
+    "mg": 3,
+    "ft": 6,
+}
+
+#: larger counts for --full mode (still truncated for LU/SP; full elsewhere)
+FULL_ITERATIONS = {
+    "bt": 30,
+    "sp": 30,
+    "cg": 10,
+    "lu": 10,
+    "mg": 4,
+    "ft": 6,
+}
+
+
+def run_nas(
+    bench: str,
+    klass: str,
+    nprocs: int,
+    stack: str,
+    iterations: Optional[int] = None,
+    fast: bool = True,
+    config: Optional[ClusterConfig] = None,
+    checkpoint_policy: str = "none",
+    checkpoint_interval_s: Optional[float] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    seed: int = 0,
+) -> tuple[RunResult, NasInfo]:
+    """Run one NAS skeleton configuration to completion."""
+    if bench not in FAST_ITERATIONS:
+        raise ValueError(f"unknown NAS benchmark {bench!r}")
+    if iterations is None:
+        iterations = (FAST_ITERATIONS if fast else FULL_ITERATIONS)[bench]
+    app, info = make_app(bench, klass, nprocs, iterations=iterations)
+    cluster = Cluster(
+        nprocs=nprocs,
+        app_factory=app,
+        stack=stack,
+        config=config,
+        seed=seed,
+        checkpoint_policy=checkpoint_policy,
+        checkpoint_interval_s=checkpoint_interval_s,
+        fault_plan=fault_plan,
+    )
+    result = cluster.run()
+    if not result.finished:
+        raise RuntimeError(
+            f"{bench} {klass} P={nprocs} stack={stack} did not complete"
+        )
+    return result, info
+
+
+def pb_percent_of_exec(result: RunResult) -> float:
+    """Piggyback management time in percent of execution time (per process,
+    the Fig. 8(b) metric)."""
+    if result.sim_time <= 0:
+        return 0.0
+    per_proc = result.probes.pb_total_time_s / result.nprocs
+    return 100.0 * per_proc / result.sim_time

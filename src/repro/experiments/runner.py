@@ -1,0 +1,52 @@
+"""CLI entry point: regenerate every paper figure/table.
+
+Usage::
+
+    python -m repro.experiments.runner --all            # fast mode
+    python -m repro.experiments.runner --all --full     # full sweeps
+    python -m repro.experiments.runner -e fig7 -e fig10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def main(argv=None) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    parser = argparse.ArgumentParser(
+        description="Reproduce the figures/tables of the IPPS 2005 Event Logger paper"
+    )
+    parser.add_argument(
+        "-e",
+        "--experiment",
+        action="append",
+        choices=sorted(ALL_EXPERIMENTS),
+        help="experiment(s) to run (repeatable)",
+    )
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full parameter sweeps (slow); default is a fast representative subset",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(ALL_EXPERIMENTS) if args.all or not args.experiment else args.experiment
+    fast = not args.full
+    for name in names:
+        module = ALL_EXPERIMENTS[name]
+        print("=" * 78)
+        print(f"== {name}: {module.__doc__.strip().splitlines()[0]}")
+        print("=" * 78)
+        t0 = time.time()
+        module.main(fast=fast)
+        print(f"\n[{name} done in {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

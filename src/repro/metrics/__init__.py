@@ -1,0 +1,14 @@
+"""Measurement probes and report formatting."""
+
+from repro.metrics.probes import ProcessProbes, ClusterProbes
+from repro.metrics.reporting import format_table, format_series
+from repro.metrics.trace import Timeline, TraceEntry
+
+__all__ = [
+    "ProcessProbes",
+    "ClusterProbes",
+    "format_table",
+    "format_series",
+    "Timeline",
+    "TraceEntry",
+]

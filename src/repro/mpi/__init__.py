@@ -1,0 +1,17 @@
+"""MPI-like programming layer over the Vdaemon.
+
+Applications are generators that ``yield from`` these calls, mirroring the
+mpi4py API shape (``send``/``recv``/``isend``/``irecv``/collectives) so the
+NAS skeletons read like ordinary MPI code.
+"""
+
+from repro.mpi.api import ANY_SOURCE, ANY_TAG, MpiContext, ReceivedMessage
+from repro.mpi import collectives
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MpiContext",
+    "ReceivedMessage",
+    "collectives",
+]

@@ -1,0 +1,16 @@
+"""MPICH-V runtime components (Fig. 4/5 of the paper).
+
+* :mod:`~repro.runtime.config` — every calibrated constant of the model.
+* :mod:`~repro.runtime.daemon` — the Vdaemon generic communication daemon.
+* :mod:`~repro.runtime.channel` — short/eager/rendezvous protocol layer.
+* :mod:`~repro.runtime.dispatcher` — launch, failure detection, restarts.
+* :mod:`~repro.runtime.checkpoint_server` — transactional image store.
+* :mod:`~repro.runtime.checkpoint_scheduler` — checkpoint policies.
+* :mod:`~repro.runtime.failure` — fault-injection plans.
+* :mod:`~repro.runtime.cluster` — deployment assembly and run helpers.
+"""
+
+from repro.runtime.config import ClusterConfig, StackSpec, STACKS
+from repro.runtime.cluster import Cluster, RunResult
+
+__all__ = ["ClusterConfig", "StackSpec", "STACKS", "Cluster", "RunResult"]

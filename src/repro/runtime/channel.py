@@ -1,0 +1,65 @@
+"""The ch_v protocol layer: short / eager / rendezvous (paper Fig. 4).
+
+MPICH builds a full MPI library from a *channel*; the channel's protocol
+layer picks a wire strategy per message size:
+
+* **short** — payload inlined in the envelope; one wire message, minimal
+  fixed cost.
+* **eager** — payload pushed immediately after the envelope; an extra
+  buffer copy is charged at the receiver.
+* **rendezvous** — for messages above the eager threshold the sender first
+  exchanges an RTS/CTS handshake (one round trip of envelope messages)
+  before streaming the payload, avoiding unexpected-buffer blowups.  This
+  produces the characteristic bandwidth dip around the threshold in the
+  NetPIPE curve (Fig. 6(b)).
+
+The planner returns everything the daemon charges: extra header bytes,
+pre-wire handshake latency and extra copy costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.config import ClusterConfig
+
+#: envelope bytes added to every application message by the channel
+ENVELOPE_BYTES = 32
+
+
+@dataclass(frozen=True)
+class SendPlan:
+    """Wire strategy decided by the protocol layer for one message."""
+
+    mode: str                   # "short" | "eager" | "rendezvous"
+    header_bytes: int           # envelope (+ CTS bookkeeping for rendezvous)
+    handshake_latency_s: float  # RTS/CTS round trip charged before the wire
+    receiver_copy: bool         # eager copies through an unexpected buffer
+
+
+def plan_send(nbytes: int, config: ClusterConfig) -> SendPlan:
+    """Choose the wire strategy for an ``nbytes`` payload."""
+    if nbytes <= config.short_threshold_bytes:
+        return SendPlan(
+            mode="short",
+            header_bytes=ENVELOPE_BYTES,
+            handshake_latency_s=0.0,
+            receiver_copy=False,
+        )
+    if nbytes <= config.eager_threshold_bytes:
+        return SendPlan(
+            mode="eager",
+            header_bytes=ENVELOPE_BYTES,
+            handshake_latency_s=0.0,
+            receiver_copy=True,
+        )
+    # rendezvous: one envelope round trip (RTS + CTS) before the payload
+    handshake = config.rendezvous_rtt_factor * (
+        config.network_latency_s + config.mpi_software_latency_s / 2.0
+    )
+    return SendPlan(
+        mode="rendezvous",
+        header_bytes=2 * ENVELOPE_BYTES,
+        handshake_latency_s=handshake,
+        receiver_copy=False,
+    )

@@ -1,0 +1,79 @@
+"""Checkpoint scheduler policies (paper §IV-B.3).
+
+The checkpoint scheduler "is not necessary to insure the fault tolerance,
+but is intended to enhance performance": in message-logging protocols the
+checkpoints are uncoordinated and a finished checkpoint lets senders
+garbage-collect logged payloads, so the scheduling policy controls memory
+pressure and restart cost.  Policies implemented, as in the paper:
+
+* ``coordinated`` — all ranks checkpoint together in waves (also used by
+  the coordinated-checkpoint protocol, where it is mandatory);
+* ``round-robin`` — one rank at a time, cycling;
+* ``random`` — one uniformly random rank per period;
+* ``none`` — never checkpoint (the fault-free measurement configurations).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.simulator.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.cluster import Cluster
+
+
+class CheckpointScheduler:
+    """Periodically asks daemons to checkpoint at their next safe point."""
+
+    POLICIES = ("none", "coordinated", "round-robin", "random")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: "Cluster",
+        policy: str = "none",
+        interval_s: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown checkpoint policy {policy!r}")
+        if policy != "none" and (interval_s is None or interval_s <= 0):
+            raise ValueError("a positive interval is required for checkpointing")
+        self.sim = sim
+        self.cluster = cluster
+        self.policy = policy
+        self.interval_s = interval_s
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._next_rank = 0
+        self._wave = 0
+        self.requests_issued = 0
+
+    def start(self) -> None:
+        if self.policy == "none":
+            return
+        self.sim.schedule(self.interval_s, self._tick)
+
+    # ------------------------------------------------------------------ #
+
+    def _tick(self) -> None:
+        if self.cluster.finished:
+            return
+        if self.policy == "coordinated":
+            self._wave += 1
+            for rank in range(self.cluster.nprocs):
+                self._request(rank, wave=self._wave)
+        elif self.policy == "round-robin":
+            self._request(self._next_rank)
+            self._next_rank = (self._next_rank + 1) % self.cluster.nprocs
+        elif self.policy == "random":
+            self._request(int(self.rng.integers(self.cluster.nprocs)))
+        self.sim.schedule(self.interval_s, self._tick)
+
+    def _request(self, rank: int, wave: Optional[int] = None) -> None:
+        daemon = self.cluster.daemons.get(rank)
+        if daemon is not None and daemon.alive:
+            daemon.request_checkpoint(wave=wave)
+            self.requests_issued += 1

@@ -1,0 +1,148 @@
+"""Checkpoint server: transactional remote storage of process images.
+
+"All checkpoint operations (namely store, delete and retrieve of an image)
+are transactions: in case of a failure before the termination of the
+operation, the state of the checkpoint server and images is not modified."
+(paper §IV-B.2)
+
+In message-logging protocols the image of a process contains the MPI
+process state, the payload of logged messages and the causal information
+held in local memory — callers pass the composed byte size; the server
+charges the transfer over its NIC and commits atomically at delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.metrics.probes import ClusterProbes
+from repro.runtime.config import ClusterConfig
+from repro.simulator.engine import Simulator
+from repro.simulator.network import Network
+
+#: host name of the checkpoint server's NIC
+CKPT_HOST = "ckpt"
+
+
+@dataclass
+class CheckpointImage:
+    """One committed process image."""
+
+    rank: int
+    version: int
+    nbytes: int
+    commit_time: float
+    #: opaque snapshot payload (deep-copied state dicts)
+    snapshot: Any = None
+
+
+class CheckpointServer:
+    """Stores the latest committed image per rank (older ones deleted)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: ClusterConfig,
+        probes: ClusterProbes,
+    ):
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.probes = probes
+        self.images: dict[int, CheckpointImage] = {}
+        self._versions: dict[int, int] = {}
+        #: completed coordinated checkpoint waves: wave id -> set of ranks
+        self.waves: dict[int, set[int]] = {}
+        #: per-(rank, wave) images for coordinated restarts
+        self.wave_images: dict[tuple[int, int], CheckpointImage] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def store(
+        self,
+        rank: int,
+        nbytes: int,
+        snapshot: Any,
+        src_host: str,
+        on_commit: Optional[Callable[[CheckpointImage], None]] = None,
+        wave: Optional[int] = None,
+    ) -> None:
+        """Begin a store transaction: transfer then atomic commit.
+
+        If the source dies mid-transfer the delivery callback never fires
+        for a dead sender's stream in a real system; here the transfer
+        completes only if scheduled — a crash *before* calling store simply
+        never starts the transaction, matching the transactional contract.
+        """
+        version = self._versions.get(rank, 0) + 1
+        self._versions[rank] = version
+
+        def _commit() -> None:
+            image = CheckpointImage(
+                rank=rank,
+                version=version,
+                nbytes=nbytes,
+                commit_time=self.sim.now,
+                snapshot=snapshot,
+            )
+            self.images[rank] = image
+            self.probes.checkpoints_stored += 1
+            self.probes.checkpoint_bytes += nbytes
+            if wave is not None:
+                self.waves.setdefault(wave, set()).add(rank)
+                self.wave_images[(rank, wave)] = image
+            if on_commit is not None:
+                on_commit(image)
+
+        self.network.transfer_chunked(src_host, CKPT_HOST, nbytes, _commit)
+
+    def retrieve(
+        self,
+        rank: int,
+        dst_host: str,
+        on_delivered: Callable[[Optional[CheckpointImage]], None],
+    ) -> None:
+        """Send the latest committed image of ``rank`` back to ``dst_host``.
+
+        Delivers ``None`` (after a round trip of the request) when no image
+        exists — the caller restarts from the initial state.
+        """
+        image = self.images.get(rank)
+        if image is None:
+            self.network.transfer(
+                CKPT_HOST, dst_host, self.config.recovery_request_bytes,
+                lambda: on_delivered(None),
+            )
+            return
+        self.network.transfer_chunked(
+            CKPT_HOST, dst_host, image.nbytes, lambda: on_delivered(image)
+        )
+
+    def retrieve_wave(
+        self,
+        rank: int,
+        wave: int,
+        dst_host: str,
+        on_delivered: Callable[[Optional[CheckpointImage]], None],
+    ) -> None:
+        """Send the image of ``rank`` from coordinated wave ``wave``."""
+        image = self.wave_images.get((rank, wave))
+        if image is None:
+            self.network.transfer(
+                CKPT_HOST, dst_host, self.config.recovery_request_bytes,
+                lambda: on_delivered(None),
+            )
+            return
+        self.network.transfer_chunked(
+            CKPT_HOST, dst_host, image.nbytes, lambda: on_delivered(image)
+        )
+
+    def wave_complete(self, wave: int, nprocs: int) -> bool:
+        """True when every rank committed an image for coordinated ``wave``."""
+        return len(self.waves.get(wave, ())) == nprocs
+
+    def latest_complete_wave(self, nprocs: int) -> Optional[int]:
+        complete = [w for w, ranks in self.waves.items() if len(ranks) == nprocs]
+        return max(complete) if complete else None

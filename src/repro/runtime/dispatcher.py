@@ -1,0 +1,131 @@
+"""Dispatcher: launch, failure detection, restart (paper §IV-B.1).
+
+The dispatcher "monitors the execution, detecting any fault (node
+disconnection) and relaunching crashed MPI process instances".  Recovery
+strategy depends on the protocol:
+
+* message-logging protocols (causal, pessimistic) restart **only the
+  crashed rank**, which then collects determinants and replays;
+* the coordinated-checkpoint protocol restarts **every rank** from the
+  last *complete* coordinated wave (or from scratch);
+* non-fault-tolerant stacks (P4, Vdummy) treat a fault as fatal.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.metrics.probes import RecoveryRecord
+from repro.runtime.checkpoint_server import CheckpointImage
+from repro.simulator.engine import SimulationError, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.cluster import Cluster
+
+
+class FatalFaultError(SimulationError):
+    """A fault hit a stack with no fault-tolerance protocol."""
+
+
+class Dispatcher:
+    """Failure detection and restart orchestration."""
+
+    def __init__(self, sim: Simulator, cluster: "Cluster"):
+        self.sim = sim
+        self.cluster = cluster
+        self.faults_seen = 0
+        self.global_restarts = 0
+        self.single_restarts = 0
+
+    # ------------------------------------------------------------------ #
+
+    def notice_fault(self, rank: int, fault_time: float) -> None:
+        """Called right after a fault is injected; detection is delayed."""
+        self.faults_seen += 1
+        cfg = self.cluster.config
+        self.sim.schedule(cfg.fault_detection_delay_s, self._detected, rank, fault_time)
+
+    def _detected(self, rank: int, fault_time: float) -> None:
+        cluster = self.cluster
+        if cluster.finished:
+            return
+        daemon = cluster.daemons[rank]
+        if daemon.alive:
+            return  # already restarted by an earlier (overlapping) episode
+        record = RecoveryRecord(
+            rank=rank, fault_time=fault_time, detect_time=self.sim.now
+        )
+        cluster.probes.recoveries.append(record)
+        spec = cluster.spec
+        if spec.protocol == "none":
+            raise FatalFaultError(
+                f"rank {rank} died under non-fault-tolerant stack {spec.name!r}"
+            )
+        if spec.protocol == "coordinated":
+            self.global_restarts += 1
+            self._global_restart(record)
+        else:
+            self.single_restarts += 1
+            self._single_restart(rank, record)
+
+    # ------------------------------------------------------------------ #
+    # single-rank restart (message logging)
+
+    def _single_restart(self, rank: int, record: RecoveryRecord) -> None:
+        cfg = self.cluster.config
+
+        def _relaunched() -> None:
+            self.cluster.checkpoint_server.retrieve(
+                rank, self.cluster.host_of(rank), _image_delivered
+            )
+
+        def _image_delivered(image: Optional[CheckpointImage]) -> None:
+            snapshot = image.snapshot if image is not None else None
+            self.cluster.daemons[rank].begin_recovery(snapshot, record)
+
+        self.sim.schedule(cfg.restart_overhead_s, _relaunched)
+
+    # ------------------------------------------------------------------ #
+    # global restart (coordinated checkpointing)
+
+    def _global_restart(self, record: RecoveryRecord) -> None:
+        cluster = self.cluster
+        cfg = cluster.config
+        cluster.epoch += 1
+        # stop everything that is still running
+        for r in range(cluster.nprocs):
+            cluster.kill_rank(r, record_fault=False)
+        wave = cluster.checkpoint_server.latest_complete_wave(cluster.nprocs)
+
+        restarted = {"count": 0}
+
+        def _restart_rank(r: int, image: Optional[CheckpointImage]) -> None:
+            daemon = cluster.daemons[r]
+            snapshot = image.snapshot if image is not None else None
+            daemon.hard_reset(snapshot)
+            state = None
+            pending = None
+            if snapshot is not None:
+                import copy as _copy
+
+                state = _copy.deepcopy(snapshot["app_state"])
+                pending = _copy.deepcopy(snapshot["endpoint"])
+            daemon.probes.restarts += 1
+            cluster.restart_app(r, state, pending)
+            restarted["count"] += 1
+            if restarted["count"] == cluster.nprocs:
+                record.replay_end_time = self.sim.now
+
+        def _relaunch_all() -> None:
+            for r in range(cluster.nprocs):
+                if wave is None:
+                    _restart_rank(r, None)
+                else:
+                    cluster.checkpoint_server.retrieve_wave(
+                        r,
+                        wave,
+                        cluster.host_of(r),
+                        lambda img, rr=r: _restart_rank(rr, img),
+                    )
+
+        self.sim.schedule(cfg.restart_overhead_s, _relaunch_all)

@@ -1,0 +1,91 @@
+"""Fault-injection plans.
+
+Two kinds of plans reproduce the paper's experiments:
+
+* :class:`OneShotFaults` — kill specific ranks at specific times.  Fig. 10
+  kills rank 0 "at the middle of its correct execution time".
+* :class:`PeriodicFaults` — a fixed fault *frequency* (faults per minute),
+  one process killed per period, as in the Fig. 1 resilience sweep.
+
+Plans only decide *who dies when*; the dispatcher owns detection and
+restart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional
+
+import numpy as np
+
+from repro.simulator.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.cluster import Cluster
+
+
+class FaultPlan:
+    """Base: installs kill events on the simulator."""
+
+    def install(self, sim: Simulator, cluster: "Cluster") -> None:
+        raise NotImplementedError
+
+    @property
+    def description(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class OneShotFaults(FaultPlan):
+    """Kill (time_s, rank) pairs exactly once each."""
+
+    faults: list[tuple[float, int]] = field(default_factory=list)
+
+    def install(self, sim: Simulator, cluster: "Cluster") -> None:
+        for time_s, rank in self.faults:
+            sim.at(time_s, cluster.inject_fault, rank)
+
+    @property
+    def description(self) -> str:
+        return f"one-shot faults at {self.faults}"
+
+
+@dataclass
+class PeriodicFaults(FaultPlan):
+    """One fault every ``1/per_minute`` minutes until the run completes.
+
+    ``victim`` selects the policy: "round-robin" cycles ranks (the paper
+    kills whichever node the dispatcher restarts next), "random" draws
+    uniformly, or a fixed integer rank.
+    """
+
+    per_minute: float = 1.0
+    start_s: float = 30.0
+    victim: str | int = "round-robin"
+    seed: int = 0
+
+    def install(self, sim: Simulator, cluster: "Cluster") -> None:
+        if self.per_minute <= 0:
+            return
+        period = 60.0 / self.per_minute
+        rng = np.random.default_rng(self.seed)
+        state = {"next": 0}
+
+        def fire() -> None:
+            if cluster.finished:
+                return
+            if isinstance(self.victim, int):
+                rank = self.victim
+            elif self.victim == "random":
+                rank = int(rng.integers(cluster.nprocs))
+            else:
+                rank = state["next"] % cluster.nprocs
+                state["next"] += 1
+            cluster.inject_fault(rank)
+            sim.schedule(period, fire)
+
+        sim.schedule(self.start_s, fire)
+
+    @property
+    def description(self) -> str:
+        return f"{self.per_minute}/min faults ({self.victim})"

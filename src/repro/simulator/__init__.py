@@ -1,0 +1,35 @@
+"""Discrete-event simulation substrate.
+
+This package provides the deterministic discrete-event engine on which the
+whole MPICH-V reproduction runs: a simulated clock and event heap
+(:mod:`~repro.simulator.engine`), generator-coroutine processes and futures
+(:mod:`~repro.simulator.process`), and a calibrated network model with NIC
+serialization and switch contention (:mod:`~repro.simulator.network`).
+
+The engine is intentionally minimal: everything protocol-specific lives in
+:mod:`repro.runtime` and :mod:`repro.core`.
+"""
+
+from repro.simulator.engine import (
+    DeadlockError,
+    EventHandle,
+    SimulationError,
+    Simulator,
+)
+from repro.simulator.process import Future, ProcessCrashed, SimProcess
+from repro.simulator.network import Network, Nic, TransferStats
+from repro.simulator.rng import SeedSequenceStream
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "DeadlockError",
+    "EventHandle",
+    "SimProcess",
+    "Future",
+    "ProcessCrashed",
+    "Network",
+    "Nic",
+    "TransferStats",
+    "SeedSequenceStream",
+]

@@ -1,0 +1,199 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is a classic event-heap simulator: callbacks are scheduled at
+absolute simulated times and executed in (time, sequence) order, so two
+events scheduled for the same instant fire in scheduling order.  This makes
+every simulation in the repository bit-reproducible, which the test suite
+relies on (e.g. a fault-free run and a faulty run with recovery must produce
+identical application results).
+
+Nothing in this module knows about processes, networks or MPI; those are
+layered on top in :mod:`repro.simulator.process` and
+:mod:`repro.simulator.network`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Base class for all simulation-level failures."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event heap drains while registered actors still wait.
+
+    A discrete-event simulation "hangs" by running out of events while some
+    process is still blocked on a future that nothing will ever resolve.
+    The engine detects this eagerly and reports the blocked actors so that
+    protocol deadlocks show up as crisp test failures instead of silently
+    truncated runs.
+    """
+
+    def __init__(self, blocked: list[str]):
+        self.blocked = list(blocked)
+        msg = "simulation deadlock; blocked actors: " + ", ".join(blocked)
+        super().__init__(msg)
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    seq: int
+    fn: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Cancellable handle for a scheduled callback."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _HeapEntry):
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self._entry.cancelled = True
+
+
+class Simulator:
+    """Event heap + simulated clock.
+
+    Parameters
+    ----------
+    trace:
+        Optional callable ``trace(time, label)`` invoked for every event
+        executed when tracing is enabled; useful when debugging protocol
+        interleavings.
+    """
+
+    def __init__(self, trace: Optional[Callable[[float, str], None]] = None):
+        self.now: float = 0.0
+        self._heap: list[_HeapEntry] = []
+        self._seq = itertools.count()
+        self._trace = trace
+        self._events_executed = 0
+        # Actors register a "blocked reason" here so that deadlocks can be
+        # diagnosed; see DeadlockError.
+        self._blocked_actors: dict[Any, str] = {}
+        self._running = False
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` ``delay`` seconds from now."""
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"negative or NaN delay: {delay!r}")
+        return self.at(self.now + delay, fn, *args)
+
+    def at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past: {time} < now={self.now}"
+            )
+        entry = _HeapEntry(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
+
+    def call_soon(self, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn`` at the current instant (after pending same-time events)."""
+        return self.at(self.now, fn, *args)
+
+    # ------------------------------------------------------------------ #
+    # deadlock bookkeeping
+
+    def mark_blocked(self, actor: Any, reason: str) -> None:
+        """Record that ``actor`` is waiting for an external wake-up."""
+        self._blocked_actors[actor] = reason
+
+    def mark_unblocked(self, actor: Any) -> None:
+        self._blocked_actors.pop(actor, None)
+
+    @property
+    def blocked_actors(self) -> dict[Any, str]:
+        return dict(self._blocked_actors)
+
+    # ------------------------------------------------------------------ #
+    # execution
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None when the heap is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the heap is empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self.now = entry.time
+            self._events_executed += 1
+            if self._trace is not None:
+                self._trace(self.now, getattr(entry.fn, "__qualname__", repr(entry.fn)))
+            entry.fn(*entry.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        check_deadlock: bool = True,
+    ) -> None:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time (events at exactly
+            ``until`` still execute).
+        max_events:
+            Safety valve for runaway protocols; raises SimulationError when
+            exceeded.
+        check_deadlock:
+            When True (default) raise :class:`DeadlockError` if the heap
+            drains while actors are still marked blocked.
+        """
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                t = self.peek_time()
+                if t is None:
+                    if check_deadlock and self._blocked_actors:
+                        raise DeadlockError(
+                            sorted(str(r) for r in self._blocked_actors.values())
+                        )
+                    return
+                if until is not None and t > until:
+                    self.now = until
+                    return
+                self.step()
+                executed += 1
+                if max_events is not None and executed > max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+        finally:
+            self._running = False

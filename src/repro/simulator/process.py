@@ -1,0 +1,215 @@
+"""Generator-coroutine processes for the discrete-event engine.
+
+Application and server code in this repository is written as Python
+generators that ``yield`` *syscalls* to the engine:
+
+* ``yield delay`` (a float, seconds) — advance simulated time, i.e. compute.
+* ``yield future`` (a :class:`Future`) — block until the future resolves;
+  the generator resumes with ``future.value``.
+* ``yield from subroutine(...)`` — ordinary delegation; the MPI layer and
+  the protocol layers are all written as delegating generators.
+
+All *durable* application state must live in an external state object (see
+``MpiContext.state`` in :mod:`repro.mpi.api`), never in generator locals
+that survive a yield across a potential checkpoint.  This "restartable
+style" is what makes checkpoint = deepcopy-of-state and restart = rebuild
+generator work (DESIGN.md §5.1).
+
+Processes can be killed at any instant (fault injection): the generator is
+closed, pending wake-ups for the old incarnation are ignored, and a fresh
+incarnation may be started later by the dispatcher.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.simulator.engine import SimulationError, Simulator
+
+
+class ProcessCrashed(Exception):
+    """Injected into a generator when its process is killed mid-wait."""
+
+
+class Future:
+    """One-shot resolvable value; the only blocking primitive.
+
+    A future may be awaited by at most one process at a time (the daemon
+    model never shares futures).  Resolving an already-resolved future is an
+    error — protocol bugs that double-deliver show up immediately.
+    """
+
+    __slots__ = ("sim", "resolved", "value", "_waiter", "label", "cancelled")
+
+    def __init__(self, sim: Simulator, label: str = "future"):
+        self.sim = sim
+        self.resolved = False
+        self.cancelled = False
+        self.value: Any = None
+        self._waiter: Optional[SimProcess] = None
+        self.label = label
+
+    def resolve(self, value: Any = None) -> None:
+        if self.cancelled:
+            return
+        if self.resolved:
+            raise SimulationError(f"future {self.label!r} resolved twice")
+        self.resolved = True
+        self.value = value
+        if self._waiter is not None:
+            waiter, self._waiter = self._waiter, None
+            waiter._wake(self, value)
+
+    def cancel(self) -> None:
+        """Detach any waiter and make future inert (used on process kill)."""
+        self.cancelled = True
+        self._waiter = None
+
+    # internal: called by SimProcess
+    def _attach(self, proc: "SimProcess") -> None:
+        if self._waiter is not None:
+            raise SimulationError(f"future {self.label!r} awaited twice")
+        self._waiter = proc
+
+
+SimGenerator = Generator[Any, Any, Any]
+
+
+class SimProcess:
+    """Drives a generator coroutine on the simulator.
+
+    Parameters
+    ----------
+    sim: engine.
+    name: diagnostic name (also used in deadlock reports).
+    gen_factory: zero-argument callable returning a fresh generator; kept so
+        the dispatcher can restart the process after a crash.
+    on_exit: optional callback ``on_exit(proc, result)`` fired when the
+        generator returns normally.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        gen_factory: Callable[[], SimGenerator],
+        on_exit: Optional[Callable[["SimProcess", Any], None]] = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.gen_factory = gen_factory
+        self.on_exit = on_exit
+        self.gen: Optional[SimGenerator] = None
+        self.alive = False
+        self.finished = False
+        self.result: Any = None
+        self.incarnation = 0
+        self._waiting_on: Optional[Future] = None
+        self.started_at: Optional[float] = None
+        self.ended_at: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+
+    def start(self, delay: float = 0.0) -> None:
+        """Schedule the first step of a fresh incarnation."""
+        if self.alive:
+            raise SimulationError(f"process {self.name} already running")
+        self.incarnation += 1
+        self.alive = True
+        self.finished = False
+        self.gen = self.gen_factory()
+        inc = self.incarnation
+        self.sim.schedule(delay, self._first_step, inc)
+
+    def _first_step(self, inc: int) -> None:
+        if inc != self.incarnation or not self.alive:
+            return  # stale wake-up from before a kill
+        self.started_at = self.sim.now
+        self._advance(None)
+
+    def kill(self) -> None:
+        """Crash the process: close the generator, drop pending wake-ups."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.sim.mark_unblocked(self)
+        if self._waiting_on is not None:
+            self._waiting_on.cancel()
+            self._waiting_on = None
+        gen, self.gen = self.gen, None
+        if gen is not None:
+            try:
+                gen.throw(ProcessCrashed())
+            except (ProcessCrashed, StopIteration):
+                pass
+            except RuntimeError:
+                # generator already executing / closed; nothing to unwind
+                pass
+            finally:
+                gen.close()
+
+    # ------------------------------------------------------------------ #
+    # stepping machinery
+
+    def _wake(self, fut: Future, value: Any) -> None:
+        if not self.alive or fut is not self._waiting_on:
+            return
+        self._waiting_on = None
+        self.sim.mark_unblocked(self)
+        # resume at the current instant through the heap so that all
+        # same-time resolutions execute in deterministic order
+        inc = self.incarnation
+        self.sim.call_soon(self._resume_if_current, inc, value)
+
+    def _resume_if_current(self, inc: int, value: Any) -> None:
+        if inc != self.incarnation or not self.alive:
+            return
+        self._advance(value)
+
+    def _advance(self, send_value: Any) -> None:
+        assert self.gen is not None
+        try:
+            yielded = self.gen.send(send_value)
+        except StopIteration as stop:
+            self.alive = False
+            self.finished = True
+            self.ended_at = self.sim.now
+            self.result = stop.value
+            self.sim.mark_unblocked(self)
+            if self.on_exit is not None:
+                self.on_exit(self, stop.value)
+            return
+        self._handle_syscall(yielded)
+
+    def _handle_syscall(self, yielded: Any) -> None:
+        if isinstance(yielded, Future):
+            if yielded.resolved:
+                # fast path: already resolved; resume via heap to keep
+                # deterministic ordering with other same-time events.
+                inc = self.incarnation
+                self.sim.call_soon(self._resume_if_current, inc, yielded.value)
+                return
+            yielded._attach(self)
+            self._waiting_on = yielded
+            self.sim.mark_blocked(self, f"{self.name} waiting on {yielded.label}")
+            return
+        if isinstance(yielded, (int, float)):
+            delay = float(yielded)
+            inc = self.incarnation
+            self.sim.schedule(delay, self._resume_if_current, inc, None)
+            return
+        raise SimulationError(
+            f"process {self.name} yielded unsupported value {yielded!r}"
+        )
+
+
+def wait_all(sim: Simulator, futures: Iterable[Future], label: str = "wait_all") -> SimGenerator:
+    """Generator helper: wait for every future, return list of values.
+
+    Usage: ``values = yield from wait_all(sim, futs)``.
+    """
+    values = []
+    for fut in futures:
+        v = yield fut
+        values.append(v)
+    return values

@@ -1,0 +1,9 @@
+"""Workloads: NetPIPE ping-pong, synthetic traffic, NAS skeletons."""
+
+from repro.workloads.netpipe import (
+    measure_latency,
+    measure_bandwidth,
+    pingpong_app,
+)
+
+__all__ = ["measure_latency", "measure_bandwidth", "pingpong_app"]

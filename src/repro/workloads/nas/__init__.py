@@ -1,0 +1,34 @@
+"""NAS Parallel Benchmark communication skeletons.
+
+The paper evaluates on NPB 2 kernels/applications (BT, SP, LU, CG, MG,
+FT), classes A and B, 2-25 processes.  These skeletons reproduce each
+benchmark's *communication pattern* — who sends what to whom, how big, how
+often, overlapped with how much computation — which is what every metric
+of the paper depends on (piggyback volume/cost, bandwidth occupancy,
+Megaflops).  The numerical kernels themselves are replaced by calibrated
+``compute_flops`` charges using the published NPB operation counts; see
+DESIGN.md §2 for the substitution argument.
+
+Use :func:`make_app` / :func:`problem_info` as the entry points::
+
+    from repro.workloads.nas import make_app
+    app, info = make_app("cg", "A", nprocs=16, iterations=10)
+    result = Cluster(nprocs=16, app_factory=app, stack="vcausal").run()
+    mflops = info.scale_mflops(result)
+"""
+
+from repro.workloads.nas.common import (
+    NAS_BENCHMARKS,
+    NasInfo,
+    allowed_procs,
+    make_app,
+    problem_info,
+)
+
+__all__ = [
+    "NAS_BENCHMARKS",
+    "NasInfo",
+    "allowed_procs",
+    "make_app",
+    "problem_info",
+]

@@ -1,0 +1,87 @@
+"""CG skeleton: conjugate gradient with irregular sparse matvec.
+
+Communication shape (NPB CG): processes form an ``nprows × npcols``
+power-of-two grid.  Every inner CG iteration performs the sparse
+matrix-vector product's row-wise recursive-halving sum (vector segments
+shrinking by half each step) followed by two scalar dot-product reductions
+down the column — "heavy point-to-point latency driven communications"
+(paper §V-A): many small/medium messages, little computation per message.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mpi.api import MpiContext
+from repro.workloads.nas.common import CLASS_TABLE, NasInfo, pow2_grid, register
+
+
+def _fold(acc: int, value: int) -> int:
+    return (acc * 33 + value) % 1000003
+
+
+@register("cg")
+def build_cg(klass: str, nprocs: int, iterations: Optional[int] = None):
+    problem = CLASS_TABLE["cg"][klass]
+    nprows, npcols = pow2_grid(nprocs)
+    iters = iterations if iterations is not None else problem.iterations
+    n = problem.n
+    inner = problem.inner
+    flops_rank_inner = problem.flops_per_outer / inner / nprocs
+    info = NasInfo(
+        bench="cg",
+        klass=klass,
+        nprocs=nprocs,
+        iterations_used=iters,
+        iterations_full=problem.iterations,
+        flops_per_rank_total=flops_rank_inner * inner * iters,
+        problem=problem,
+    )
+    l2npcols = npcols.bit_length() - 1
+    l2nprows = nprows.bit_length() - 1
+
+    def app(ctx: MpiContext):
+        s = ctx.state
+        s.setdefault("it", 0)
+        s.setdefault("acc", 0)
+        ctx.state_nbytes = max(16 * n // max(nprocs, 1) * 8, 4096)
+        row, col = divmod(ctx.rank, npcols)
+        # the transpose partner (row/col swapped) receives the matvec
+        # result w → q; it is a cross-grid shortcut only present on square
+        # process grids (NPB uses an auxiliary scheme otherwise)
+        transpose = col * npcols + row if nprows == npcols and nprocs > 1 else None
+        while s["it"] < iters:
+            yield from ctx.checkpoint_poll()
+            it = s["it"]
+            for j in range(inner):
+                # matvec: recursive-halving sum across the row
+                for step in range(l2npcols):
+                    partner = row * npcols + (col ^ (1 << step))
+                    size = max(8 * n // (nprows << step), 64)
+                    msg = yield from ctx.sendrecv(
+                        partner, size, partner, tag=30 + step,
+                        payload=(ctx.rank * 7919 + it * 131 + j) % 999983,
+                    )
+                    s["acc"] = _fold(s["acc"], msg.payload)
+                # exchange the result with the transpose partner
+                if transpose is not None and transpose != ctx.rank:
+                    msg = yield from ctx.sendrecv(
+                        transpose, max(8 * n // nprows, 64), transpose, tag=40,
+                        payload=(ctx.rank * 104729 + it * 131 + j) % 999983,
+                    )
+                    s["acc"] = _fold(s["acc"], msg.payload)
+                # two dot products: scalar reduction down the column
+                for _dot in range(2):
+                    for step in range(l2nprows):
+                        partner = (row ^ (1 << step)) * npcols + col
+                        msg = yield from ctx.sendrecv(
+                            partner, 8, partner, tag=50 + step,
+                            payload=(ctx.rank + it + j + _dot) % 999983,
+                        )
+                        s["acc"] = _fold(s["acc"], msg.payload)
+                yield from ctx.compute_flops(flops_rank_inner)
+            s["it"] += 1
+        total = yield from ctx.allreduce(8, s["acc"])
+        return total
+
+    return app, info

@@ -1,0 +1,155 @@
+"""Shared NAS-skeleton machinery: class tables, grids, scaling.
+
+Operation counts are the published NPB 2 totals (NAS-95-020 and the NPB
+result tables); they set the ``compute_flops`` charges so that simulated
+Megaflop/s land in the paper's range for the calibrated node speed.
+
+Iteration scaling: full NPB iteration counts (e.g. LU: 250) would make a
+single LU/16 run millions of simulated messages.  Because every reported
+metric is either a *rate* (Mflop/s) or a *ratio* (piggyback %, overhead %)
+that is stationary after the first few iterations, experiments run a
+truncated iteration count and report rates from the truncated run.
+:class:`NasInfo` carries the scaling bookkeeping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.mpi.api import MpiContext
+from repro.runtime.cluster import RunResult
+
+
+@dataclass(frozen=True)
+class NasClass:
+    """One (benchmark, class) problem definition."""
+
+    n: int                 # problem size (per-dimension, or vector length)
+    iterations: int        # official outer-iteration count
+    total_flops: float     # official operation count for the full run
+    inner: int = 1         # inner iterations per outer (CG: 25)
+
+    @property
+    def flops_per_outer(self) -> float:
+        return self.total_flops / self.iterations
+
+
+#: Official NPB2 problem classes used by the paper (A and B, plus S for tests).
+CLASS_TABLE: dict[str, dict[str, NasClass]] = {
+    "bt": {
+        "S": NasClass(n=12, iterations=60, total_flops=0.28e9),
+        "A": NasClass(n=64, iterations=200, total_flops=168.3e9),
+        "B": NasClass(n=102, iterations=200, total_flops=721.5e9),
+    },
+    "sp": {
+        "S": NasClass(n=12, iterations=100, total_flops=0.25e9),
+        "A": NasClass(n=64, iterations=400, total_flops=102.0e9),
+        "B": NasClass(n=102, iterations=400, total_flops=447.1e9),
+    },
+    "lu": {
+        "S": NasClass(n=12, iterations=50, total_flops=0.19e9),
+        "A": NasClass(n=64, iterations=250, total_flops=119.28e9),
+        "B": NasClass(n=102, iterations=250, total_flops=554.9e9),
+    },
+    "cg": {
+        "S": NasClass(n=1400, iterations=15, total_flops=0.066e9, inner=25),
+        "A": NasClass(n=14000, iterations=15, total_flops=1.508e9, inner=25),
+        "B": NasClass(n=75000, iterations=75, total_flops=54.89e9, inner=25),
+    },
+    "mg": {
+        "S": NasClass(n=32, iterations=4, total_flops=0.01e9),
+        "A": NasClass(n=256, iterations=4, total_flops=3.625e9),
+        "B": NasClass(n=256, iterations=20, total_flops=18.16e9),
+    },
+    "ft": {
+        "S": NasClass(n=64, iterations=6, total_flops=0.18e9),
+        "A": NasClass(n=256, iterations=6, total_flops=7.16e9),
+        "B": NasClass(n=512, iterations=20, total_flops=92.75e9),
+    },
+}
+
+
+def allowed_procs(bench: str) -> tuple[int, ...]:
+    """Process counts each benchmark supports (paper's x axes)."""
+    if bench in ("bt", "sp"):
+        return (1, 4, 9, 16, 25)      # square counts
+    return (1, 2, 4, 8, 16, 32)       # powers of two
+
+
+def square_side(nprocs: int) -> int:
+    q = int(round(math.sqrt(nprocs)))
+    if q * q != nprocs:
+        raise ValueError(f"BT/SP need a square process count, got {nprocs}")
+    return q
+
+
+def pow2_grid(nprocs: int) -> tuple[int, int]:
+    """NPB-style 2D factorization: cols = 2^ceil(k/2), rows = P/cols."""
+    if nprocs & (nprocs - 1):
+        raise ValueError(f"need a power-of-two process count, got {nprocs}")
+    k = nprocs.bit_length() - 1
+    cols = 1 << ((k + 1) // 2)
+    rows = nprocs // cols
+    return rows, cols
+
+
+@dataclass
+class NasInfo:
+    """Metadata of one constructed skeleton run."""
+
+    bench: str
+    klass: str
+    nprocs: int
+    iterations_used: int
+    iterations_full: int
+    flops_per_rank_total: float   # flops charged in the truncated run, 1 rank
+    problem: NasClass
+
+    @property
+    def truncation(self) -> float:
+        """Fraction of the full run executed."""
+        return self.iterations_used / self.iterations_full
+
+    def scale_mflops(self, result: RunResult) -> float:
+        """Aggregate Mflop/s of the (possibly truncated) run — a rate, so
+        no extrapolation is needed beyond warm-up noise."""
+        return result.mflops
+
+
+AppBuilder = Callable[..., tuple[Callable[[MpiContext], object], NasInfo]]
+
+#: filled by the per-benchmark modules at import time
+NAS_BENCHMARKS: dict[str, AppBuilder] = {}
+
+
+def register(name: str):
+    def deco(fn: AppBuilder) -> AppBuilder:
+        NAS_BENCHMARKS[name] = fn
+        return fn
+
+    return deco
+
+
+def problem_info(bench: str, klass: str) -> NasClass:
+    return CLASS_TABLE[bench][klass]
+
+
+def make_app(
+    bench: str,
+    klass: str,
+    nprocs: int,
+    iterations: Optional[int] = None,
+):
+    """Build (app_factory, NasInfo) for a benchmark skeleton.
+
+    ``iterations`` truncates the official outer-iteration count (see module
+    docstring); None runs the full count.
+    """
+    # import side registers the builders
+    from repro.workloads.nas import bt, cg, ft, lu, mg, sp  # noqa: F401
+
+    if bench not in NAS_BENCHMARKS:
+        raise ValueError(f"unknown NAS benchmark {bench!r}")
+    return NAS_BENCHMARKS[bench](klass=klass, nprocs=nprocs, iterations=iterations)

@@ -1,0 +1,63 @@
+"""FT skeleton: 3D FFT with global transposes.
+
+Communication shape (NPB FT): each iteration computes local 1D FFTs, then
+performs the distributed transpose — an **all-to-all** where every pair of
+processes exchanges ``total_grid_bytes / P²`` — and finishes with a small
+checksum reduction.  "FT benchmark presents all-to-all communication
+pattern" (paper §V-A); this is the pattern on which Manetho's per-receive
+graph re-linking hurts most (Fig. 8, FT panel).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mpi.api import MpiContext
+from repro.workloads.nas.common import CLASS_TABLE, NasInfo, register
+
+
+def _fold(acc: int, value: int) -> int:
+    return (acc * 41 + value) % 1000003
+
+
+@register("ft")
+def build_ft(klass: str, nprocs: int, iterations: Optional[int] = None):
+    problem = CLASS_TABLE["ft"][klass]
+    if nprocs & (nprocs - 1):
+        raise ValueError("FT needs a power-of-two process count")
+    iters = iterations if iterations is not None else problem.iterations
+    n = problem.n
+    # grid: n × n × n/2 complex points, 16 bytes each
+    total_bytes = n * n * (n // 2) * 16
+    pair_bytes = max(total_bytes // (nprocs * nprocs), 1024)
+    flops_rank_iter = problem.flops_per_outer / nprocs
+    info = NasInfo(
+        bench="ft",
+        klass=klass,
+        nprocs=nprocs,
+        iterations_used=iters,
+        iterations_full=problem.iterations,
+        flops_per_rank_total=flops_rank_iter * iters,
+        problem=problem,
+    )
+
+    def app(ctx: MpiContext):
+        s = ctx.state
+        s.setdefault("it", 0)
+        s.setdefault("acc", 0)
+        ctx.state_nbytes = max(total_bytes // max(nprocs, 1), 4096)
+        while s["it"] < iters:
+            yield from ctx.checkpoint_poll()
+            yield from ctx.compute_flops(flops_rank_iter / 2.0)
+            if nprocs > 1:
+                yield from ctx.alltoall(pair_bytes)
+            yield from ctx.compute_flops(flops_rank_iter / 2.0)
+            checksum = yield from ctx.allreduce(
+                16, (ctx.rank * 7919 + s["it"]) % 999983
+            )
+            s["acc"] = _fold(s["acc"], checksum)
+            s["it"] += 1
+        total = yield from ctx.allreduce(8, s["acc"])
+        return total
+
+    return app, info

@@ -1,0 +1,95 @@
+"""LU skeleton: SSOR solver with pipelined wavefront sweeps.
+
+Communication shape (NPB LU): the x-y plane is split on a 2D grid; every
+SSOR iteration runs a *lower* sweep (each of the ``nz`` k-planes receives
+thin border strips from north/west, computes, forwards to south/east) and
+a mirrored *upper* sweep — a software pipeline generating "a very large
+number of messages" (paper §V-D.2): 2 × nz × 2 messages per rank per
+iteration, each only a few hundred bytes wide, with very little time
+between a reception and the next emission.  This is the benchmark that
+saturates the Event Logger at 16 processes (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mpi.api import MpiContext
+from repro.workloads.nas.common import CLASS_TABLE, NasInfo, pow2_grid, register
+
+
+def _fold(acc: int, value: int) -> int:
+    return (acc * 37 + value) % 1000003
+
+
+@register("lu")
+def build_lu(klass: str, nprocs: int, iterations: Optional[int] = None):
+    problem = CLASS_TABLE["lu"][klass]
+    nprows, npcols = pow2_grid(nprocs)
+    iters = iterations if iterations is not None else problem.iterations
+    n = problem.n
+    nz = n
+    flops_rank_iter = problem.flops_per_outer / nprocs
+    info = NasInfo(
+        bench="lu",
+        klass=klass,
+        nprocs=nprocs,
+        iterations_used=iters,
+        iterations_full=problem.iterations,
+        flops_per_rank_total=flops_rank_iter * iters,
+        problem=problem,
+    )
+    ew_bytes = max(5 * 8 * (n // npcols), 64)   # east-west strip per k-plane
+    ns_bytes = max(5 * 8 * (n // nprows), 64)   # north-south strip
+
+    def app(ctx: MpiContext):
+        s = ctx.state
+        s.setdefault("it", 0)
+        s.setdefault("acc", 0)
+        ctx.state_nbytes = max(5 * 8 * n * n * nz // max(nprocs, 1), 4096)
+        row, col = divmod(ctx.rank, npcols)
+        north = ctx.rank - npcols if row > 0 else None
+        south = ctx.rank + npcols if row < nprows - 1 else None
+        west = ctx.rank - 1 if col > 0 else None
+        east = ctx.rank + 1 if col < npcols - 1 else None
+        flops_per_k = flops_rank_iter / (2 * nz)
+
+        while s["it"] < iters:
+            yield from ctx.checkpoint_poll()
+            it = s["it"]
+            # lower sweep: wavefront from the north-west corner
+            for k in range(nz):
+                if north is not None:
+                    msg = yield from ctx.recv(north, tag=60)
+                    s["acc"] = _fold(s["acc"], msg.payload)
+                if west is not None:
+                    msg = yield from ctx.recv(west, tag=61)
+                    s["acc"] = _fold(s["acc"], msg.payload)
+                yield from ctx.compute_flops(flops_per_k)
+                pay = (ctx.rank * 7919 + it * 131 + k) % 999983
+                if south is not None:
+                    yield from ctx.send(south, ns_bytes, tag=60, payload=pay)
+                if east is not None:
+                    yield from ctx.send(east, ew_bytes, tag=61, payload=pay)
+            # upper sweep: wavefront from the south-east corner
+            for k in range(nz):
+                if south is not None:
+                    msg = yield from ctx.recv(south, tag=62)
+                    s["acc"] = _fold(s["acc"], msg.payload)
+                if east is not None:
+                    msg = yield from ctx.recv(east, tag=63)
+                    s["acc"] = _fold(s["acc"], msg.payload)
+                yield from ctx.compute_flops(flops_per_k)
+                pay = (ctx.rank * 104729 + it * 131 + k) % 999983
+                if north is not None:
+                    yield from ctx.send(north, ns_bytes, tag=62, payload=pay)
+                if west is not None:
+                    yield from ctx.send(west, ew_bytes, tag=63, payload=pay)
+            # residual norm once per iteration
+            v = yield from ctx.allreduce(8, s["acc"] % 997)
+            s["acc"] = _fold(s["acc"], v)
+            s["it"] += 1
+        total = yield from ctx.allreduce(8, s["acc"])
+        return total
+
+    return app, info

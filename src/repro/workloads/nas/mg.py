@@ -1,0 +1,82 @@
+"""MG skeleton: multigrid V-cycles.
+
+Communication shape (NPB MG): every V-cycle walks the grid hierarchy down
+to the coarsest level and back up; at each level the rank exchanges halo
+strips with its 2D-grid neighbours, with message sizes shrinking 4× per
+level on the way down — a mix of large halos (fine levels) and tiny,
+latency-bound messages (coarse levels), plus one norm reduction per cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mpi.api import MpiContext
+from repro.workloads.nas.common import CLASS_TABLE, NasInfo, pow2_grid, register
+
+
+def _fold(acc: int, value: int) -> int:
+    return (acc * 43 + value) % 1000003
+
+
+@register("mg")
+def build_mg(klass: str, nprocs: int, iterations: Optional[int] = None):
+    problem = CLASS_TABLE["mg"][klass]
+    nprows, npcols = pow2_grid(nprocs)
+    iters = iterations if iterations is not None else problem.iterations
+    n = problem.n
+    levels = max(n.bit_length() - 3, 2)   # down to a 4³-ish coarse grid
+    flops_rank_iter = problem.flops_per_outer / nprocs
+    # compute is dominated by the finest level: weight level l by 8^-l
+    weights = [8.0 ** (-l) for l in range(levels)]
+    wsum = sum(weights) * 2  # down + up
+    info = NasInfo(
+        bench="mg",
+        klass=klass,
+        nprocs=nprocs,
+        iterations_used=iters,
+        iterations_full=problem.iterations,
+        flops_per_rank_total=flops_rank_iter * iters,
+        problem=problem,
+    )
+
+    def halo_bytes(level: int) -> int:
+        nl = max(n >> level, 4)
+        return max(8 * nl * nl // max(nprocs, 1), 32)
+
+    def app(ctx: MpiContext):
+        s = ctx.state
+        s.setdefault("it", 0)
+        s.setdefault("acc", 0)
+        ctx.state_nbytes = max(8 * n**3 // max(nprocs, 1), 4096)
+        row, col = divmod(ctx.rank, npcols)
+        east = row * npcols + (col + 1) % npcols
+        west = row * npcols + (col - 1) % npcols
+        south = ((row + 1) % nprows) * npcols + col
+        north = ((row - 1) % nprows) * npcols + col
+
+        def exchange(level: int, it: int, phase: int):
+            size = halo_bytes(level)
+            pay = (ctx.rank * 7919 + it * 131 + level * 7 + phase) % 999983
+            if nprocs > 1:
+                msg = yield from ctx.sendrecv(east, size, west, tag=70 + phase, payload=pay)
+                s["acc"] = _fold(s["acc"], msg.payload)
+                msg = yield from ctx.sendrecv(south, size, north, tag=80 + phase, payload=pay)
+                s["acc"] = _fold(s["acc"], msg.payload)
+
+        while s["it"] < iters:
+            yield from ctx.checkpoint_poll()
+            it = s["it"]
+            for level in range(levels):            # restriction path
+                yield from ctx.compute_flops(flops_rank_iter * weights[level] / wsum)
+                yield from exchange(level, it, 0)
+            for level in reversed(range(levels)):  # prolongation path
+                yield from exchange(level, it, 1)
+                yield from ctx.compute_flops(flops_rank_iter * weights[level] / wsum)
+            norm = yield from ctx.allreduce(8, s["acc"] % 997)
+            s["acc"] = _fold(s["acc"], norm)
+            s["it"] += 1
+        total = yield from ctx.allreduce(8, s["acc"])
+        return total
+
+    return app, info

@@ -1,0 +1,14 @@
+"""SP skeleton: scalar-pentadiagonal ADI solver.
+
+Same √P×√P multipartition shape as BT but with thinner faces (scalar
+systems instead of 5×5 blocks) and twice the iteration count — a higher
+communication/computation ratio than BT at equal class.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.nas.bt import _bt_like
+from repro.workloads.nas.common import register
+
+#: SP faces carry ~3 scalar systems' worth of data per cell
+register("sp")(_bt_like("sp", face_vars=3))

@@ -1,0 +1,119 @@
+"""NetPIPE-style ping-pong: latency and bandwidth measurement (Fig. 6).
+
+NetPIPE measures a ping-pong for several message sizes "and small
+perturbations around these sizes".  The latency reported is half the
+round-trip time of 1-byte messages; the bandwidth curve plots payload
+throughput against message size.
+
+The paper's Fig. 6 configuration: 4999 one-way messages for the latency
+test, a size sweep from 1 byte to 8 MB for bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mpi.api import MpiContext
+from repro.runtime.cluster import Cluster, RunResult
+from repro.runtime.config import ClusterConfig
+
+#: message sizes of the Fig. 6(b) sweep
+DEFAULT_SIZES: tuple[int, ...] = (
+    1, 4, 8, 16, 32, 64, 128, 256, 512,
+    1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10,
+    128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20,
+)
+
+
+def pingpong_app(nbytes: int, reps: int, warmup: int = 2):
+    """Build a 2-rank ping-pong application.
+
+    Rank 0 returns the measured one-way latency in seconds (elapsed time of
+    the measured round trips divided by 2 × reps).
+    """
+
+    def app(ctx: MpiContext):
+        s = ctx.state
+        s.setdefault("it", 0)
+        total = reps + warmup
+        while s["it"] < total:
+            yield from ctx.checkpoint_poll()
+            if s["it"] == warmup and ctx.rank == 0:
+                s["t0"] = ctx.sim.now
+            if ctx.rank == 0:
+                yield from ctx.send(1, nbytes, tag=1)
+                yield from ctx.recv(1, tag=2)
+            else:
+                yield from ctx.recv(0, tag=1)
+                yield from ctx.send(0, nbytes, tag=2)
+            s["it"] += 1
+        if ctx.rank == 0:
+            elapsed = ctx.sim.now - s["t0"]
+            return elapsed / (2.0 * reps)
+        return None
+
+    return app
+
+
+def measure_latency(
+    stack: str,
+    nbytes: int = 1,
+    reps: int = 200,
+    config: Optional[ClusterConfig] = None,
+) -> tuple[float, RunResult]:
+    """One-way latency in seconds for ``stack`` (Fig. 6(a) cell)."""
+    cluster = Cluster(
+        nprocs=2,
+        app_factory=pingpong_app(nbytes, reps),
+        stack=stack,
+        config=config,
+    )
+    result = cluster.run()
+    return result.results[0], result
+
+
+def measure_bandwidth(
+    stack: str,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    reps: int = 6,
+    config: Optional[ClusterConfig] = None,
+    perturbations: int = 0,
+) -> dict[int, float]:
+    """Bandwidth in Mbit/s per message size (Fig. 6(b) series).
+
+    Few repetitions suffice: the simulation is deterministic.  NetPIPE
+    additionally measures "small perturbations around these sizes";
+    passing ``perturbations=d`` averages over sizes {s-d, s, s+d} like the
+    original tool (useful to smooth protocol-threshold edges).
+    """
+    out: dict[int, float] = {}
+    for nbytes in sizes:
+        probe_sizes = [nbytes]
+        if perturbations > 0:
+            probe_sizes = [max(1, nbytes - perturbations), nbytes, nbytes + perturbations]
+        rates = []
+        for n in probe_sizes:
+            latency, _ = measure_latency(stack, nbytes=n, reps=reps, config=config)
+            rates.append(n * 8.0 / latency / 1e6)
+        out[nbytes] = sum(rates) / len(rates)
+    return out
+
+
+def raw_tcp_bandwidth(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    config: Optional[ClusterConfig] = None,
+) -> dict[int, float]:
+    """The RAW TCP reference series of Fig. 6(b): wire model only.
+
+    One-way time = network latency + serialization at TCP goodput; no MPI
+    stack, no daemon, no protocol.
+    """
+    cfg = config if config is not None else ClusterConfig()
+    out: dict[int, float] = {}
+    for nbytes in sizes:
+        wire = (nbytes + cfg.per_message_overhead_bytes) * 8.0 / (
+            cfg.bandwidth_bps * cfg.goodput_factor
+        )
+        t = cfg.network_latency_s + wire + 8e-6  # 8 µs socket syscall cost
+        out[nbytes] = nbytes * 8.0 / t / 1e6
+    return out

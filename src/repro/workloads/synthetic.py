@@ -1,0 +1,201 @@
+"""Synthetic traffic generators: stencil, ring, random, master-worker.
+
+These are the micro-workloads used by the unit/property tests and the
+examples — controllable communication patterns that exercise specific
+protocol behaviours (fresh channels, wildcard receives, bursts) without
+the NAS skeletons' weight.
+
+All generators follow the restartable-style contract (durable state in
+``ctx.state``, checkpoint poll per iteration) so every one of them works
+under fault injection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.mpi.api import ANY_SOURCE, MpiContext
+
+
+def _fold(acc: int, value: int) -> int:
+    return (acc * 31 + value) % 1000003
+
+
+def stencil_2d(
+    rows: int,
+    cols: int,
+    iterations: int = 10,
+    halo_bytes: int = 2048,
+    flops_per_iter: float = 1e6,
+):
+    """5-point stencil halo exchange on a periodic rows×cols grid."""
+
+    def app(ctx: MpiContext):
+        if ctx.size != rows * cols:
+            raise ValueError("stencil grid does not match communicator size")
+        s = ctx.state
+        s.setdefault("it", 0)
+        s.setdefault("acc", 0)
+        row, col = divmod(ctx.rank, cols)
+        east = row * cols + (col + 1) % cols
+        west = row * cols + (col - 1) % cols
+        south = ((row + 1) % rows) * cols + col
+        north = ((row - 1) % rows) * cols + col
+        while s["it"] < iterations:
+            yield from ctx.checkpoint_poll()
+            it = s["it"]
+            for dst, src, tag in ((east, west, 1), (west, east, 2),
+                                  (south, north, 3), (north, south, 4)):
+                if dst == ctx.rank:
+                    continue
+                msg = yield from ctx.sendrecv(
+                    dst, halo_bytes, src, tag=tag,
+                    payload=(ctx.rank * 131 + it) % 999983,
+                )
+                s["acc"] = _fold(s["acc"], msg.payload)
+            yield from ctx.compute_flops(flops_per_iter)
+            s["it"] += 1
+        total = yield from ctx.allreduce(8, s["acc"])
+        return total
+
+    return app
+
+
+def ring(iterations: int = 10, nbytes: int = 1024, flops_per_iter: float = 1e6):
+    """Unidirectional token ring (exercises one-way channels)."""
+
+    def app(ctx: MpiContext):
+        s = ctx.state
+        s.setdefault("it", 0)
+        s.setdefault("acc", 0)
+        right = (ctx.rank + 1) % ctx.size
+        left = (ctx.rank - 1) % ctx.size
+        while s["it"] < iterations:
+            yield from ctx.checkpoint_poll()
+            if ctx.size > 1:
+                if ctx.rank == 0:
+                    yield from ctx.send(right, nbytes, tag=1, payload=s["it"])
+                    msg = yield from ctx.recv(left, tag=1)
+                else:
+                    msg = yield from ctx.recv(left, tag=1)
+                    yield from ctx.send(
+                        right, nbytes, tag=1, payload=msg.payload + ctx.rank
+                    )
+                s["acc"] = _fold(s["acc"], msg.payload)
+            yield from ctx.compute_flops(flops_per_iter)
+            s["it"] += 1
+        total = yield from ctx.allreduce(8, s["acc"])
+        return total
+
+    return app
+
+
+def random_pairs(
+    iterations: int = 20,
+    nbytes: int = 512,
+    seed: int = 0,
+    flops_per_iter: float = 5e5,
+):
+    """Random perfect matchings per iteration (fresh channel pairs).
+
+    The matching schedule is drawn once from the seed, identically on
+    every rank, so the pattern is deterministic and replay-safe.
+    """
+
+    def app(ctx: MpiContext):
+        s = ctx.state
+        s.setdefault("it", 0)
+        s.setdefault("acc", 0)
+        rng = np.random.default_rng(seed)
+        schedules = []
+        for _ in range(iterations):
+            perm = rng.permutation(ctx.size)
+            pairs = {}
+            for i in range(0, ctx.size - 1, 2):
+                a, b = int(perm[i]), int(perm[i + 1])
+                pairs[a] = b
+                pairs[b] = a
+            schedules.append(pairs)
+        while s["it"] < iterations:
+            yield from ctx.checkpoint_poll()
+            partner = schedules[s["it"]].get(ctx.rank)
+            if partner is not None:
+                msg = yield from ctx.sendrecv(
+                    partner, nbytes, partner, tag=7,
+                    payload=(ctx.rank + s["it"] * 17) % 999983,
+                )
+                s["acc"] = _fold(s["acc"], msg.payload)
+            yield from ctx.compute_flops(flops_per_iter)
+            s["it"] += 1
+        total = yield from ctx.allreduce(8, s["acc"])
+        return total
+
+    return app
+
+
+def master_worker(
+    tasks: int = 24,
+    task_bytes: int = 4096,
+    result_bytes: int = 256,
+    flops_per_task: float = 2e6,
+):
+    """Master-worker with wildcard receives (ANY_SOURCE nondeterminism).
+
+    The master hands tasks to whichever worker asks first — reception
+    order at the master is genuinely non-deterministic, which is exactly
+    what message logging protocols must record and replay.
+
+    Note on verification: receptions *after* a recovery are fresh
+    non-deterministic events, so the task→worker assignment may legally
+    differ from a fault-free run.  The verification value is therefore a
+    commutative function of the task indices only: it is identical across
+    runs if and only if every task was completed exactly once — the actual
+    no-orphan/no-duplicate invariant.
+    """
+
+    def app(ctx: MpiContext):
+        s = ctx.state
+        s.setdefault("acc", 0)
+        if ctx.size == 1:
+            return 0
+        if ctx.rank == 0:
+            s.setdefault("issued", 0)
+            s.setdefault("done", 0)
+            # note: master state tracks progress for restartability
+            while s["done"] < tasks:
+                yield from ctx.checkpoint_poll()
+                msg = yield from ctx.recv(ANY_SOURCE, tag=20)
+                worker = msg.src
+                if msg.payload is not None:
+                    s["acc"] = (s["acc"] + msg.payload) % 1000003
+                    s["done"] += 1
+                if s["issued"] < tasks:
+                    yield from ctx.send(
+                        worker, task_bytes, tag=21, payload=s["issued"]
+                    )
+                    s["issued"] += 1
+                else:
+                    yield from ctx.send(worker, 16, tag=21, payload=None)
+            total = yield from ctx.allreduce(8, s["acc"])
+            return total
+        # worker: request, compute, return result
+        s.setdefault("working", True)
+        if s["working"] and not s.get("announced"):
+            s["announced"] = True  # survives checkpoints: announce only once
+            yield from ctx.send(0, 16, tag=20, payload=None)  # ready
+        while s["working"]:
+            yield from ctx.checkpoint_poll()
+            msg = yield from ctx.recv(0, tag=21)
+            if msg.payload is None:
+                s["working"] = False
+                break
+            yield from ctx.compute_flops(flops_per_task)
+            # result depends only on the task, not on which worker ran it
+            result = (msg.payload * 7919 + 13) % 999983
+            yield from ctx.send(0, result_bytes, tag=20, payload=result)
+        total = yield from ctx.allreduce(8, s["acc"])
+        return total
+
+    return app

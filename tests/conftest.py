@@ -1,0 +1,81 @@
+"""Shared fixtures and helper applications for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Cluster
+from repro.runtime.config import ClusterConfig
+
+
+@pytest.fixture
+def config() -> ClusterConfig:
+    return ClusterConfig()
+
+
+def ring_app(iterations: int = 10, nbytes: int = 512, flops: float = 5e6):
+    """Ring sendrecv + allreduce application with a verification value.
+
+    Written in restartable style: all durable state lives in ``ctx.state``
+    and a checkpoint poll happens once per iteration.
+    """
+
+    def app(ctx):
+        s = ctx.state
+        s.setdefault("it", 0)
+        s.setdefault("acc", 0)
+        while s["it"] < iterations:
+            yield from ctx.checkpoint_poll()
+            right = (ctx.rank + 1) % ctx.size
+            left = (ctx.rank - 1) % ctx.size
+            msg = yield from ctx.sendrecv(
+                right, nbytes, left, tag=5, payload=(ctx.rank, s["it"])
+            )
+            assert msg.payload == (left, s["it"])
+            s["acc"] = (s["acc"] * 31 + msg.payload[0] * (s["it"] + 1)) % 1000003
+            total = yield from ctx.allreduce(8, s["acc"])
+            s["last"] = total
+            yield from ctx.compute_flops(flops)
+            s["it"] += 1
+        return s["last"]
+
+    return app
+
+
+def run_ring(
+    stack: str,
+    nprocs: int = 4,
+    iterations: int = 10,
+    nbytes: int = 512,
+    **cluster_kw,
+):
+    """Run the ring app on a fresh cluster; returns the RunResult."""
+    cluster = Cluster(
+        nprocs=nprocs,
+        app_factory=ring_app(iterations=iterations, nbytes=nbytes),
+        stack=stack,
+        **cluster_kw,
+    )
+    return cluster.run(max_events=20_000_000)
+
+
+LOGGING_STACKS = (
+    "vcausal",
+    "manetho",
+    "logon",
+    "vcausal-noel",
+    "manetho-noel",
+    "logon-noel",
+    "pessimistic",
+)
+
+CAUSAL_STACKS = (
+    "vcausal",
+    "manetho",
+    "logon",
+    "vcausal-noel",
+    "manetho-noel",
+    "logon-noel",
+)
+
+ALL_STACKS = ("p4", "vdummy") + LOGGING_STACKS + ("coordinated",)

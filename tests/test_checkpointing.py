@@ -1,0 +1,116 @@
+"""Checkpoint machinery: scheduler policies, server transactions, GC."""
+
+import pytest
+
+from repro import Cluster
+from repro.runtime.checkpoint_scheduler import CheckpointScheduler
+
+from tests.conftest import ring_app, run_ring
+
+
+def test_scheduler_rejects_unknown_policy():
+    with pytest.raises(ValueError):
+        Cluster(nprocs=2, app_factory=ring_app(2), checkpoint_policy="bogus")
+
+
+def test_scheduler_requires_interval():
+    with pytest.raises(ValueError):
+        Cluster(nprocs=2, app_factory=ring_app(2), checkpoint_policy="round-robin")
+
+
+def test_coordinated_protocol_requires_coordinated_policy():
+    with pytest.raises(ValueError):
+        Cluster(
+            nprocs=2,
+            app_factory=ring_app(2),
+            stack="coordinated",
+            checkpoint_policy="round-robin",
+            checkpoint_interval_s=1.0,
+        )
+
+
+def test_round_robin_cycles_ranks():
+    result = run_ring(
+        "vcausal", nprocs=4, iterations=30,
+        checkpoint_policy="round-robin", checkpoint_interval_s=0.04,
+    )
+    server = result.cluster.checkpoint_server
+    # with enough ticks every rank got at least one committed image
+    assert set(server.images) == {0, 1, 2, 3}
+
+
+def test_coordinated_waves_complete():
+    result = run_ring(
+        "coordinated", nprocs=4, iterations=30,
+        checkpoint_policy="coordinated", checkpoint_interval_s=0.1,
+    )
+    server = result.cluster.checkpoint_server
+    wave = server.latest_complete_wave(4)
+    assert wave is not None
+    assert server.wave_complete(wave, 4)
+
+
+def test_checkpoint_image_contains_composed_sizes():
+    result = run_ring(
+        "vcausal", nprocs=2, iterations=20,
+        checkpoint_policy="round-robin", checkpoint_interval_s=0.05,
+    )
+    server = result.cluster.checkpoint_server
+    image = next(iter(server.images.values()))
+    # baseline (256 KiB) + declared app state (>= 1024) at minimum
+    assert image.nbytes >= 256 * 1024 + 1024
+    snap = image.snapshot
+    assert "app_state" in snap and "protocol" in snap and "sender_log" in snap
+    assert snap["clock"] >= 0
+
+
+def test_sender_log_gc_on_peer_checkpoint():
+    """A committed checkpoint notifies peers to GC their payload logs."""
+    no_ckpt = run_ring("vcausal", nprocs=4, iterations=30)
+    with_ckpt = run_ring(
+        "vcausal", nprocs=4, iterations=30,
+        checkpoint_policy="round-robin", checkpoint_interval_s=0.03,
+    )
+    held_no = max(
+        d.sender_log.bytes_held for d in no_ckpt.cluster.daemons.values()
+    )
+    held_with = max(
+        d.sender_log.bytes_held for d in with_ckpt.cluster.daemons.values()
+    )
+    assert held_with < held_no
+
+
+def test_checkpoint_versions_increase():
+    result = run_ring(
+        "vcausal", nprocs=2, iterations=40,
+        checkpoint_policy="round-robin", checkpoint_interval_s=0.02,
+    )
+    server = result.cluster.checkpoint_server
+    assert any(img.version >= 2 for img in server.images.values())
+
+
+def test_checkpoints_do_not_change_results():
+    plain = run_ring("vcausal", nprocs=4, iterations=20)
+    ckpt = run_ring(
+        "vcausal", nprocs=4, iterations=20,
+        checkpoint_policy="round-robin", checkpoint_interval_s=0.03,
+    )
+    assert plain.results == ckpt.results
+
+
+def test_checkpoint_blocking_overhead_charged():
+    plain = run_ring("vcausal", nprocs=2, iterations=20)
+    ckpt = run_ring(
+        "vcausal", nprocs=2, iterations=20,
+        checkpoint_policy="round-robin", checkpoint_interval_s=0.02,
+    )
+    assert ckpt.sim_time > plain.sim_time
+
+
+def test_probes_count_checkpoints():
+    result = run_ring(
+        "vcausal", nprocs=2, iterations=20,
+        checkpoint_policy="round-robin", checkpoint_interval_s=0.03,
+    )
+    assert result.probes.checkpoints_stored >= 2
+    assert result.probes.checkpoint_bytes > 0

@@ -1,0 +1,146 @@
+"""Cluster assembly, dispatcher and failure-plan unit tests."""
+
+import pytest
+
+from repro import Cluster, OneShotFaults, PeriodicFaults
+from repro.runtime.config import STACKS, ClusterConfig, StackSpec
+
+from tests.conftest import ring_app, run_ring
+
+
+def test_cluster_requires_positive_nprocs():
+    with pytest.raises(ValueError):
+        Cluster(nprocs=0, app_factory=ring_app(1))
+
+
+def test_stack_accepts_spec_instance():
+    spec = StackSpec(name="custom", daemon=True, protocol="vcausal",
+                     event_logger=True, sender_based_logging=True)
+    result = Cluster(nprocs=2, app_factory=ring_app(3), stack=spec).run()
+    assert result.finished
+    assert result.stack == "custom"
+
+
+def test_unknown_stack_raises():
+    with pytest.raises(KeyError):
+        Cluster(nprocs=2, app_factory=ring_app(1), stack="nosuch")
+
+
+def test_cluster_cannot_start_twice():
+    c = Cluster(nprocs=2, app_factory=ring_app(1))
+    c.start()
+    with pytest.raises(RuntimeError):
+        c.start()
+    c.sim.run()
+
+
+def test_run_result_fields():
+    result = run_ring("vcausal", nprocs=2, iterations=3)
+    assert result.stack == "vcausal"
+    assert result.nprocs == 2
+    assert result.finished
+    assert result.sim_time > 0
+    assert result.events_executed > 0
+    assert set(result.results) == {0, 1}
+    assert result.mflops > 0
+
+
+def test_el_only_present_for_el_stacks():
+    c1 = Cluster(nprocs=2, app_factory=ring_app(1), stack="vcausal")
+    c2 = Cluster(nprocs=2, app_factory=ring_app(1), stack="vcausal-noel")
+    c3 = Cluster(nprocs=2, app_factory=ring_app(1), stack="vdummy")
+    assert c1.event_logger is not None
+    assert c2.event_logger is None
+    assert c3.event_logger is None
+
+
+def test_custom_config_propagates():
+    cfg = ClusterConfig().with_overrides(node_flops=1e9)
+    c = Cluster(nprocs=2, app_factory=ring_app(1), config=cfg)
+    assert c.contexts[0].config.node_flops == 1e9
+
+
+def test_host_naming_and_nics():
+    c = Cluster(nprocs=3, app_factory=ring_app(1), stack="vcausal")
+    assert c.host_of(2) == "n2"
+    assert set(c.network.nics) == {"n0", "n1", "n2", "el0", "ckpt"}
+
+
+def test_p4_gets_half_duplex_nics():
+    c = Cluster(nprocs=2, app_factory=ring_app(1), stack="p4")
+    assert not c.network.nics["n0"].full_duplex
+    c2 = Cluster(nprocs=2, app_factory=ring_app(1), stack="vdummy")
+    assert c2.network.nics["n0"].full_duplex
+
+
+def test_inject_fault_on_dead_rank_is_noop():
+    c = Cluster(
+        nprocs=2,
+        app_factory=ring_app(30),
+        stack="vcausal",
+        fault_plan=OneShotFaults([(0.01, 0), (0.012, 0)]),  # double-kill
+    )
+    result = c.run(max_events=20_000_000)
+    assert result.finished
+    assert c.dispatcher.faults_seen == 1  # second injection ignored
+
+
+CKPT = dict(checkpoint_policy="round-robin", checkpoint_interval_s=0.05)
+
+
+def test_periodic_fault_plan_round_robin_victims():
+    # the fault period must exceed the worst-case recovery time, or the
+    # system (realistically) stops making progress
+    plan = PeriodicFaults(per_minute=90, start_s=0.1, victim="round-robin")
+    result = run_ring("vcausal", nprocs=4, iterations=40, fault_plan=plan, **CKPT)
+    assert result.finished
+    victims = [rec.rank for rec in result.probes.recoveries]
+    assert victims == [i % 4 for i in range(len(victims))]
+    assert victims  # at least one fault landed
+
+
+def test_periodic_fault_plan_fixed_victim():
+    plan = PeriodicFaults(per_minute=90, start_s=0.1, victim=2)
+    result = run_ring("vcausal", nprocs=4, iterations=40, fault_plan=plan, **CKPT)
+    assert result.finished
+    assert result.probes.recoveries
+    assert all(rec.rank == 2 for rec in result.probes.recoveries)
+
+
+def test_periodic_fault_plan_random_seeded():
+    plan1 = PeriodicFaults(per_minute=90, start_s=0.1, victim="random", seed=7)
+    r1 = run_ring("vcausal", nprocs=4, iterations=40, fault_plan=plan1, **CKPT)
+    plan2 = PeriodicFaults(per_minute=90, start_s=0.1, victim="random", seed=7)
+    r2 = run_ring("vcausal", nprocs=4, iterations=40, fault_plan=plan2, **CKPT)
+    assert [rec.rank for rec in r1.probes.recoveries] == [
+        rec.rank for rec in r2.probes.recoveries
+    ]
+
+
+def test_fault_plan_descriptions():
+    assert "one-shot" in OneShotFaults([(1.0, 0)]).description
+    assert "round-robin" in PeriodicFaults(victim="round-robin").description
+
+
+def test_zero_frequency_plan_installs_nothing():
+    plan = PeriodicFaults(per_minute=0)
+    result = run_ring("vcausal", nprocs=2, iterations=3, fault_plan=plan)
+    assert result.finished
+    assert result.cluster.dispatcher.faults_seen == 0
+
+
+def test_detection_delay_respected():
+    result = run_ring(
+        "vcausal", nprocs=2, iterations=30,
+        fault_plan=OneShotFaults([(0.05, 0)]),
+    )
+    rec = result.probes.recoveries[0]
+    cfg = ClusterConfig()
+    assert rec.detect_time == pytest.approx(0.05 + cfg.fault_detection_delay_s)
+
+
+def test_seed_changes_random_scheduler_only():
+    r1 = run_ring("vcausal", nprocs=2, iterations=5, seed=1)
+    r2 = run_ring("vcausal", nprocs=2, iterations=5, seed=2)
+    # without stochastic components the runs are identical
+    assert r1.sim_time == r2.sim_time

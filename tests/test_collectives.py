@@ -1,0 +1,144 @@
+"""Correctness of the MPICH-1-style collectives over point-to-point."""
+
+import pytest
+
+from repro import Cluster
+
+
+def run_app(app, nprocs, stack="vdummy"):
+    result = Cluster(nprocs=nprocs, app_factory=app, stack=stack).run()
+    assert result.finished
+    return result
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 5, 8, 9, 16])
+@pytest.mark.parametrize("root", [0, 1])
+def test_bcast_delivers_root_payload(nprocs, root):
+    if root >= nprocs:
+        pytest.skip("root outside communicator")
+
+    def app(ctx):
+        payload = "hello" if ctx.rank == root else None
+        value = yield from ctx.bcast(root, 1024, payload)
+        return value
+
+    result = run_app(app, nprocs)
+    assert all(v == "hello" for v in result.results.values())
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 7, 8, 16])
+def test_reduce_sums_to_root(nprocs):
+    def app(ctx):
+        value = yield from ctx.reduce(0, 8, ctx.rank + 1)
+        return value
+
+    result = run_app(app, nprocs)
+    expected = nprocs * (nprocs + 1) // 2
+    assert result.results[0] == expected
+    for r in range(1, nprocs):
+        assert result.results[r] is None
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 6, 8, 16])
+def test_allreduce_everyone_gets_the_sum(nprocs):
+    def app(ctx):
+        value = yield from ctx.allreduce(8, ctx.rank * 10)
+        return value
+
+    result = run_app(app, nprocs)
+    expected = sum(r * 10 for r in range(nprocs))
+    assert all(v == expected for v in result.results.values())
+
+
+def test_reduce_custom_op():
+    def app(ctx):
+        value = yield from ctx.reduce(0, 8, ctx.rank + 1, op=lambda a, b: a * b)
+        return value
+
+    result = run_app(app, 4)
+    assert result.results[0] == 24
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 3, 5, 8])
+def test_allgather_collects_all_values(nprocs):
+    def app(ctx):
+        values = yield from ctx.allgather(64, f"v{ctx.rank}")
+        return values
+
+    result = run_app(app, nprocs)
+    expected = [f"v{r}" for r in range(nprocs)]
+    assert all(v == expected for v in result.results.values())
+
+
+@pytest.mark.parametrize("nprocs", [2, 3, 4, 8])
+def test_alltoall_completes_all_pairs(nprocs):
+    def app(ctx):
+        yield from ctx.alltoall(2048)
+        return ctx.rank
+
+    result = run_app(app, nprocs)
+    probes = result.probes
+    # every rank sends one message to every other rank
+    assert probes.total("app_messages_sent") == nprocs * (nprocs - 1)
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 5, 8])
+def test_barrier_synchronizes(nprocs):
+    def app(ctx):
+        yield from ctx.compute_seconds(0.001 * (ctx.rank + 1))
+        yield from ctx.barrier()
+        return ctx.sim.now
+
+    result = run_app(app, nprocs)
+    times = list(result.results.values())
+    # all ranks leave the barrier after the slowest one entered
+    assert min(times) >= 0.001 * nprocs
+
+
+def test_gather_collects_at_root():
+    from repro.mpi import collectives
+
+    def app(ctx):
+        values = yield from collectives.gather(ctx, 0, 32, ctx.rank ** 2)
+        return values
+
+    result = run_app(app, 5)
+    assert result.results[0] == [0, 1, 4, 9, 16]
+    assert result.results[1] is None
+
+
+def test_consecutive_collectives_do_not_cross_match():
+    def app(ctx):
+        a = yield from ctx.allreduce(8, 1)
+        b = yield from ctx.allreduce(8, 2)
+        c = yield from ctx.allreduce(8, 3)
+        return (a, b, c)
+
+    result = run_app(app, 4)
+    assert all(v == (4, 8, 12) for v in result.results.values())
+
+
+def test_collectives_with_point_to_point_interleaved():
+    def app(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, 64, tag=9, payload="x")
+        total = yield from ctx.allreduce(8, ctx.rank)
+        if ctx.rank == 1:
+            msg = yield from ctx.recv(0, tag=9)
+            assert msg.payload == "x"
+        return total
+
+    result = run_app(app, 4)
+    assert all(v == 6 for v in result.results.values())
+
+
+@pytest.mark.parametrize("stack", ["vcausal", "manetho", "logon", "pessimistic"])
+def test_collectives_under_logging_protocols(stack):
+    def app(ctx):
+        value = yield from ctx.allreduce(8, ctx.rank + 1)
+        values = yield from ctx.allgather(16, ctx.rank)
+        yield from ctx.barrier()
+        return (value, tuple(values))
+
+    result = run_app(app, 4, stack=stack)
+    assert all(v == (10, (0, 1, 2, 3)) for v in result.results.values())

@@ -1,0 +1,95 @@
+"""Tests for the extended collectives (scatter, reduce_scatter, scan)."""
+
+import pytest
+
+from repro import Cluster
+from repro.mpi import collectives
+
+
+def run_app(app, nprocs, stack="vdummy"):
+    result = Cluster(nprocs=nprocs, app_factory=app, stack=stack).run()
+    assert result.finished
+    return result
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4, 5, 8])
+@pytest.mark.parametrize("root", [0, 1])
+def test_scatter_distributes_elements(nprocs, root):
+    if root >= nprocs:
+        pytest.skip("root outside communicator")
+
+    def app(ctx):
+        values = [f"item{r}" for r in range(ctx.size)] if ctx.rank == root else None
+        mine = yield from collectives.scatter(ctx, root, 256, values)
+        return mine
+
+    result = run_app(app, nprocs)
+    assert result.results == {r: f"item{r}" for r in range(nprocs)}
+
+
+def test_scatter_requires_one_value_per_rank():
+    def app(ctx):
+        values = [1] if ctx.rank == 0 else None
+        yield from collectives.scatter(ctx, 0, 8, values)
+
+    with pytest.raises(ValueError):
+        run_app(app, 3)
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4, 8])
+def test_reduce_scatter_block(nprocs):
+    def app(ctx):
+        # rank r contributes [r*0, r*1, ..., r*(p-1)]
+        values = [ctx.rank * d for d in range(ctx.size)]
+        mine = yield from collectives.reduce_scatter(ctx, 8, values)
+        return mine
+
+    result = run_app(app, nprocs)
+    total = sum(range(nprocs))
+    assert result.results == {r: total * r for r in range(nprocs)}
+
+
+def test_reduce_scatter_requires_full_vector():
+    def app(ctx):
+        yield from collectives.reduce_scatter(ctx, 8, [1])
+
+    with pytest.raises(ValueError):
+        run_app(app, 3)
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 5, 8])
+def test_scan_inclusive_prefix(nprocs):
+    def app(ctx):
+        value = yield from collectives.scan(ctx, 8, ctx.rank + 1)
+        return value
+
+    result = run_app(app, nprocs)
+    for r in range(nprocs):
+        assert result.results[r] == sum(range(1, r + 2))
+
+
+def test_scan_custom_op():
+    def app(ctx):
+        value = yield from collectives.scan(ctx, 8, ctx.rank + 1, op=lambda a, b: a * b)
+        return value
+
+    result = run_app(app, 4)
+    assert result.results == {0: 1, 1: 2, 2: 6, 3: 24}
+
+
+@pytest.mark.parametrize("stack", ["vcausal", "manetho-noel"])
+def test_extended_collectives_under_logging(stack):
+    def app(ctx):
+        mine = yield from collectives.scatter(
+            ctx, 0, 64,
+            [r * 2 for r in range(ctx.size)] if ctx.rank == 0 else None,
+        )
+        pref = yield from collectives.scan(ctx, 8, mine)
+        red = yield from collectives.reduce_scatter(
+            ctx, 8, [pref] * ctx.size
+        )
+        return red
+
+    a = run_app(app, 4, stack=stack)
+    b = run_app(app, 4, stack="vdummy")
+    assert a.results == b.results

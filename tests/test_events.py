@@ -1,0 +1,187 @@
+"""Unit + property tests for determinants, sequences and stable vectors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import Determinant, EventSequence, StableVector
+
+
+def det(creator=0, clock=1, sender=1, ssn=1, dep=0):
+    return Determinant(creator, clock, sender, ssn, dep)
+
+
+# --------------------------------------------------------------------- #
+# Determinant
+
+def test_determinant_event_id():
+    d = det(creator=3, clock=7)
+    assert d.event_id == (3, 7)
+
+
+def test_determinant_is_hashable_and_comparable():
+    assert det() == det()
+    assert len({det(), det()}) == 1
+
+
+# --------------------------------------------------------------------- #
+# EventSequence
+
+def test_append_and_iterate():
+    seq = EventSequence(0)
+    for k in range(1, 6):
+        seq.append(det(clock=k))
+    assert [d.clock for d in seq] == [1, 2, 3, 4, 5]
+    assert len(seq) == 5
+    assert seq.max_clock == 5
+    assert seq.min_clock == 1
+
+
+def test_append_wrong_creator_raises():
+    seq = EventSequence(0)
+    with pytest.raises(ValueError):
+        seq.append(det(creator=1))
+
+
+def test_append_non_monotonic_raises():
+    seq = EventSequence(0)
+    seq.append(det(clock=5))
+    with pytest.raises(ValueError):
+        seq.append(det(clock=5))
+
+
+def test_get_finds_existing_and_missing():
+    seq = EventSequence(0)
+    seq.append(det(clock=2))
+    seq.append(det(clock=4))
+    assert seq.get(2).clock == 2
+    assert seq.get(3) is None
+    assert seq.get(5) is None
+
+
+def test_tail_after():
+    seq = EventSequence(0)
+    for k in range(1, 11):
+        seq.append(det(clock=k))
+    assert [d.clock for d in seq.tail_after(7)] == [8, 9, 10]
+    assert [d.clock for d in seq.tail_after(0)] == list(range(1, 11))
+    assert seq.tail_after(10) == []
+
+
+def test_prune_upto():
+    seq = EventSequence(0)
+    for k in range(1, 11):
+        seq.append(det(clock=k))
+    assert seq.prune_upto(4) == 4
+    assert len(seq) == 6
+    assert seq.min_clock == 5
+    assert seq.get(3) is None
+    assert seq.get(5).clock == 5
+    # pruning again is a no-op
+    assert seq.prune_upto(4) == 0
+
+
+def test_prune_then_tail_after_consistent():
+    seq = EventSequence(0)
+    for k in range(1, 101):
+        seq.append(det(clock=k))
+    seq.prune_upto(50)
+    assert [d.clock for d in seq.tail_after(60)] == list(range(61, 101))
+    assert [d.clock for d in seq.tail_after(10)] == list(range(51, 101))
+
+
+def test_compaction_preserves_content():
+    seq = EventSequence(0)
+    for k in range(1, 1001):
+        seq.append(det(clock=k))
+    for bound in (100, 300, 600, 900):
+        seq.prune_upto(bound)
+        assert len(seq) == 1000 - bound
+        assert seq.min_clock == bound + 1
+    assert [d.clock for d in seq] == list(range(901, 1001))
+
+
+def test_merge_appends_new_events():
+    seq = EventSequence(0)
+    added = seq.merge([det(clock=1), det(clock=2), det(clock=2)])
+    assert added == 2
+    assert [d.clock for d in seq] == [1, 2]
+
+
+def test_merge_fills_holes():
+    seq = EventSequence(0)
+    seq.merge([det(clock=1), det(clock=3)])
+    assert seq.merge([det(clock=2)]) == 1
+    assert [d.clock for d in seq] == [1, 2, 3]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["merge", "prune", "tail"]),
+            st.integers(min_value=1, max_value=60),
+        ),
+        max_size=50,
+    )
+)
+def test_sequence_matches_reference_model(ops):
+    """EventSequence behaves like a sorted dict of clock -> det."""
+    seq = EventSequence(0)
+    model: dict[int, Determinant] = {}
+    pruned = 0
+    for op, arg in ops:
+        if op == "merge":
+            d = det(clock=arg)
+            if arg > pruned:
+                seq.merge([d])
+                model.setdefault(arg, d)
+        elif op == "prune":
+            seq.prune_upto(arg)
+            pruned = max(pruned, arg)
+            for c in [c for c in model if c <= pruned]:
+                del model[c]
+        else:
+            got = [d.clock for d in seq.tail_after(arg)]
+            want = sorted(c for c in model if c > arg)
+            assert got == want
+    assert sorted(d.clock for d in seq) == sorted(model)
+    assert len(seq) == len(model)
+
+
+# --------------------------------------------------------------------- #
+# StableVector
+
+def test_stable_vector_advance_monotone():
+    v = StableVector(4)
+    assert v.advance(1, 5)
+    assert not v.advance(1, 3)
+    assert v[1] == 5
+
+
+def test_stable_vector_update_merges_elementwise_max():
+    v = StableVector(3)
+    v.update([1, 5, 2])
+    assert not v.update([0, 4, 2])
+    assert v.update([2, 4, 2])
+    assert v.as_list() == [2, 5, 2]
+
+
+def test_stable_vector_len():
+    assert len(StableVector(7)) == 7
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    updates=st.lists(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=3, max_size=3),
+        max_size=20,
+    )
+)
+def test_stable_vector_is_elementwise_max(updates):
+    v = StableVector(3)
+    for u in updates:
+        v.update(u)
+    for c in range(3):
+        want = max((u[c] for u in updates), default=0)
+        assert v[c] == max(0, want)

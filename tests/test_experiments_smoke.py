@@ -1,0 +1,94 @@
+"""Smoke tests for the experiment modules (tiny parameterizations).
+
+The full sweeps live in benchmarks/; here each module's machinery is
+exercised end-to-end with minimal work, and the headline shape of each
+figure is asserted.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablation_checkpoint_policies,
+    ablation_distributed_el,
+    fig6_pingpong,
+    fig10_recovery,
+)
+from repro.experiments.common import pb_percent_of_exec, run_nas
+
+
+def test_run_nas_helper_round_trip():
+    result, info = run_nas("cg", "A", 4, "vcausal", iterations=1)
+    assert result.finished
+    assert info.bench == "cg"
+    assert pb_percent_of_exec(result) >= 0
+
+
+def test_run_nas_raises_on_unfinished():
+    # impossible to finish: run at until=0 is not reachable through the
+    # helper, so instead check the helper validates benchmark names
+    with pytest.raises(ValueError):
+        run_nas("nosuch", "A", 4, "vcausal")
+
+
+def test_fig6_report_formats():
+    results = {
+        "latency_us": {"p4": 99.5, "vdummy": 134.5},
+        "messages_with_piggyback_frac": {"p4": 0.0, "vdummy": 0.0},
+        "bandwidth_mbit": {"p4": {1: 0.1, 1024: 30.0}},
+        "sizes": (1, 1024),
+    }
+    report = fig6_pingpong.format_report(results)
+    assert "99.50" in report
+    assert "Fig. 6(a)" in report and "Fig. 6(b)" in report
+
+
+def test_fig10_measure_single_cell():
+    cell = fig10_recovery._measure("cg", "A", 4, "vcausal", iters=2)
+    assert cell["events"] > 0
+    assert cell["collection_ms"] > 0
+    assert cell["sources"] == 1
+    assert cell["faulty_time_s"] > cell["fault_free_time_s"]
+
+
+def test_fig10_el_vs_peers_single_cell():
+    with_el = fig10_recovery._measure("cg", "A", 8, "vcausal", iters=2)
+    without = fig10_recovery._measure("cg", "A", 8, "vcausal-noel", iters=2)
+    assert with_el["collection_ms"] < without["collection_ms"]
+    assert without["sources"] == 7
+
+
+def test_ablation_el_single_cell():
+    result = ablation_distributed_el.run_lu(2, "multicast", iterations=1)
+    assert result.finished
+    assert result.cluster.event_logger.count == 2
+
+
+def test_ablation_ckpt_policies_report():
+    results = ablation_checkpoint_policies.run(fast=True)
+    report = ablation_checkpoint_policies.format_report(results)
+    assert "round-robin" in report
+    cells = results["cells"]
+    # any checkpointing policy GCs the sender logs vs no checkpoints
+    assert (
+        cells["round-robin"]["peak_sender_log_bytes"]
+        < cells["none"]["peak_sender_log_bytes"]
+    )
+    # coordinated waves GC best (all receivers checkpoint together)
+    assert (
+        cells["coordinated"]["peak_sender_log_bytes"]
+        <= cells["round-robin"]["peak_sender_log_bytes"]
+    )
+
+
+def test_runner_cli_lists_experiments():
+    from repro.experiments import ALL_EXPERIMENTS
+
+    assert {"fig1", "fig6", "fig7", "fig8", "fig9", "fig10"} <= set(ALL_EXPERIMENTS)
+    assert "ablation-el" in ALL_EXPERIMENTS
+
+
+def test_runner_cli_rejects_unknown_experiment():
+    from repro.experiments.runner import main
+
+    with pytest.raises(SystemExit):
+        main(["-e", "nosuch"])

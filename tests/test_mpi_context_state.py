@@ -1,0 +1,110 @@
+"""MpiContext state management: export/restore, tag counters, queues."""
+
+import pytest
+
+from repro import Cluster
+from repro.mpi.api import MpiContext
+
+from tests.conftest import ring_app
+
+
+def test_restore_swaps_state_and_queue():
+    c = Cluster(nprocs=2, app_factory=ring_app(2))
+    ctx = c.contexts[0]
+    ctx.restore({"x": 1, "_coll_seq": 5}, None)
+    assert ctx.state == {"x": 1, "_coll_seq": 5}
+    assert ctx._coll_seq == 5
+    ctx.restore(None, None)
+    assert ctx.state == {}
+    assert ctx._coll_seq == 0
+    c.run()
+
+
+def test_export_pending_returns_copy():
+    c = Cluster(nprocs=2, app_factory=ring_app(2))
+    c.run()
+    ctx = c.contexts[0]
+    pending = ctx.export_pending()
+    pending.append("sentinel")
+    assert "sentinel" not in ctx._queue
+
+
+def test_note_collective_seq_persists():
+    c = Cluster(nprocs=2, app_factory=ring_app(2))
+    c.run()
+    ctx = c.contexts[0]
+    ctx._coll_seq = 42
+    ctx.note_collective_seq()
+    assert ctx.state["_coll_seq"] == 42
+
+
+def test_collective_tags_unique_and_spaced():
+    c = Cluster(nprocs=2, app_factory=ring_app(1))
+    ctx = c.contexts[0]
+    t1 = ctx.next_collective_tag()
+    t2 = ctx.next_collective_tag()
+    assert t2 - t1 == 64          # room for 64 phases per collective
+    assert t1 > (1 << 20)         # outside the application tag space
+    c.run()
+
+
+def test_state_nbytes_declared_by_app():
+    def app(ctx):
+        ctx.state_nbytes = 7 * 1024 * 1024
+        yield from ctx.compute_seconds(0.001)
+        return ctx.state_nbytes
+
+    c = Cluster(nprocs=1, app_factory=app)
+    result = c.run()
+    assert result.results[0] == 7 * 1024 * 1024
+
+
+def test_checkpoint_uses_declared_state_size():
+    def app(ctx):
+        s = ctx.state
+        s.setdefault("it", 0)
+        ctx.state_nbytes = 3 * 1024 * 1024
+        while s["it"] < 10:
+            yield from ctx.checkpoint_poll()
+            yield from ctx.compute_seconds(0.01)
+            s["it"] += 1
+        return 0
+
+    c = Cluster(
+        nprocs=1, app_factory=app, stack="vcausal",
+        checkpoint_policy="round-robin", checkpoint_interval_s=0.03,
+    )
+    c.run()
+    image = c.checkpoint_server.images[0]
+    assert image.nbytes >= 3 * 1024 * 1024
+
+
+def test_matching_prefers_earliest_queued():
+    def app(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, 8, tag=1, payload="first")
+            yield from ctx.send(1, 8, tag=1, payload="second")
+            return None
+        yield from ctx.compute_seconds(0.01)   # both queued by now
+        a = yield from ctx.recv(0, tag=1)
+        b = yield from ctx.recv(0, tag=1)
+        return (a.payload, b.payload)
+
+    result = Cluster(nprocs=2, app_factory=app).run()
+    assert result.results[1] == ("first", "second")
+
+
+def test_two_pending_recvs_resolve_in_post_order():
+    def app(ctx):
+        if ctx.rank == 0:
+            req_a = ctx.irecv(1, tag=1)
+            req_b = ctx.irecv(1, tag=1)
+            a = yield from req_a.wait()
+            b = yield from req_b.wait()
+            return (a.payload, b.payload)
+        yield from ctx.send(0, 8, tag=1, payload="x")
+        yield from ctx.send(0, 8, tag=1, payload="y")
+        return None
+
+    result = Cluster(nprocs=2, app_factory=app).run()
+    assert result.results[0] == ("x", "y")

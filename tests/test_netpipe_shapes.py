@@ -1,0 +1,112 @@
+"""NetPIPE shape tests: the Fig. 6 orderings the paper reports."""
+
+import pytest
+
+from repro.workloads.netpipe import (
+    measure_bandwidth,
+    measure_latency,
+    raw_tcp_bandwidth,
+)
+
+
+@pytest.fixture(scope="module")
+def latencies():
+    out = {}
+    for stack in (
+        "p4", "vdummy", "vcausal", "manetho", "logon",
+        "vcausal-noel", "manetho-noel", "logon-noel",
+    ):
+        out[stack], _ = measure_latency(stack, nbytes=1, reps=60)
+    return out
+
+
+def test_p4_is_fastest(latencies):
+    assert latencies["p4"] < min(
+        v for k, v in latencies.items() if k != "p4"
+    )
+
+
+def test_daemon_adds_latency(latencies):
+    """Fig. 6(a): ~35 µs gap between P4 and Vdummy."""
+    gap = latencies["vdummy"] - latencies["p4"]
+    assert 20e-6 < gap < 50e-6
+
+
+def test_causal_protocols_equal_with_el(latencies):
+    """'When using an Event Logger, the latency of the three protocols is
+    the same.'"""
+    vals = [latencies["vcausal"], latencies["manetho"], latencies["logon"]]
+    assert max(vals) - min(vals) < 2e-6
+
+
+def test_no_el_latency_penalty_ordering(latencies):
+    for proto in ("vcausal", "manetho", "logon"):
+        assert latencies[f"{proto}-noel"] > latencies[proto]
+
+
+def test_no_el_penalty_larger_for_graph_methods(latencies):
+    """Paper: +5.2% for Vcausal, +10.4% for antecedence-graph methods."""
+    vc = latencies["vcausal-noel"] - latencies["vcausal"]
+    mn = latencies["manetho-noel"] - latencies["manetho"]
+    lg = latencies["logon-noel"] - latencies["logon"]
+    assert mn > vc
+    assert lg > vc
+
+
+def test_latency_magnitudes_close_to_paper(latencies):
+    paper = {
+        "p4": 99.56e-6, "vdummy": 134.84e-6, "vcausal": 156.92e-6,
+        "vcausal-noel": 165.17e-6, "manetho-noel": 173.15e-6,
+    }
+    for stack, target in paper.items():
+        assert latencies[stack] == pytest.approx(target, rel=0.06), stack
+
+
+def test_el_eliminates_piggybacks_on_small_messages():
+    _, with_el = measure_latency("vcausal", nbytes=1, reps=60)
+    _, without = measure_latency("vcausal-noel", nbytes=1, reps=60)
+    frac_el = with_el.probes.total("messages_with_piggyback") / max(
+        with_el.probes.total("app_messages_sent"), 1
+    )
+    frac_no = without.probes.total("messages_with_piggyback") / max(
+        without.probes.total("app_messages_sent"), 1
+    )
+    assert frac_el < 0.05
+    assert frac_no > 0.9
+
+
+def test_bandwidth_increases_with_size_then_saturates():
+    bw = measure_bandwidth("vdummy", sizes=(64, 4096, 65536, 1 << 20, 4 << 20), reps=3)
+    values = list(bw.values())
+    assert values == sorted(values)
+    # saturation: the last two within 10%
+    assert values[-1] == pytest.approx(values[-2], rel=0.1)
+    # Fast Ethernet ceiling
+    assert values[-1] < 93.5
+
+
+def test_raw_tcp_dominates_all_stacks():
+    sizes = (1024, 65536, 1 << 20)
+    raw = raw_tcp_bandwidth(sizes)
+    p4 = measure_bandwidth("p4", sizes=sizes, reps=3)
+    for s in sizes:
+        assert raw[s] > p4[s]
+
+
+def test_causal_bandwidth_below_vdummy():
+    """Sender-based payload copying costs bandwidth (Fig. 6(b))."""
+    sizes = (1 << 20,)
+    vd = measure_bandwidth("vdummy", sizes=sizes, reps=3)[1 << 20]
+    vc = measure_bandwidth("vcausal", sizes=sizes, reps=3)[1 << 20]
+    assert vc < vd
+
+
+def test_bandwidth_same_for_all_el_protocols():
+    """'As in this ping-pong test all protocols add the same amount of
+    piggybacked causality, the bandwidth is the same.'"""
+    sizes = (256 << 10,)
+    values = [
+        measure_bandwidth(s, sizes=sizes, reps=3)[256 << 10]
+        for s in ("vcausal", "manetho", "logon")
+    ]
+    assert max(values) - min(values) < 0.5

@@ -1,0 +1,176 @@
+"""Unit tests for the network model."""
+
+import pytest
+
+from repro.simulator.engine import SimulationError, Simulator
+from repro.simulator.network import Network
+
+
+def make_net(**kw):
+    sim = Simulator()
+    defaults = dict(
+        bandwidth_bps=100e6,
+        latency_s=25e-6,
+        per_message_overhead_bytes=66,
+        goodput_factor=0.93,
+    )
+    defaults.update(kw)
+    return sim, Network(sim, **defaults)
+
+
+def test_transfer_time_includes_latency_and_serialization():
+    sim, net = make_net()
+    net.attach("a")
+    net.attach("b")
+    done = []
+    at = net.transfer("a", "b", 1000, lambda: done.append(sim.now))
+    sim.run()
+    wire = (1000 + 66) * 8 / (100e6 * 0.93)
+    assert done and abs(done[0] - (wire + 25e-6)) < 1e-12
+    assert abs(at - done[0]) < 1e-12
+
+
+def test_messages_on_one_tx_link_serialize():
+    sim, net = make_net()
+    net.attach("a")
+    net.attach("b")
+    times = []
+    net.transfer("a", "b", 100_000, lambda: times.append(sim.now))
+    net.transfer("a", "b", 100_000, lambda: times.append(sim.now))
+    sim.run()
+    wire = (100_000 + 66) * 8 / (100e6 * 0.93)
+    assert abs(times[0] - (wire + 25e-6)) < 1e-9
+    assert abs(times[1] - (2 * wire + 25e-6)) < 1e-9
+
+
+def test_fifo_per_channel_even_with_different_sizes():
+    sim, net = make_net()
+    net.attach("a")
+    net.attach("b")
+    order = []
+    net.transfer("a", "b", 1_000_000, lambda: order.append("big"))
+    net.transfer("a", "b", 10, lambda: order.append("small"))
+    sim.run()
+    assert order == ["big", "small"]
+
+
+def test_rx_contention_from_two_senders():
+    sim, net = make_net()
+    net.attach("a")
+    net.attach("b")
+    net.attach("c")
+    times = []
+    net.transfer("a", "c", 100_000, lambda: times.append(("a", sim.now)))
+    net.transfer("b", "c", 100_000, lambda: times.append(("b", sim.now)))
+    sim.run()
+    wire = (100_000 + 66) * 8 / (100e6 * 0.93)
+    # both transmit in parallel, but c's RX link serializes them
+    assert abs(times[0][1] - (wire + 25e-6)) < 1e-9
+    assert abs(times[1][1] - (2 * wire + 25e-6)) < 1e-9
+
+
+def test_half_duplex_shares_tx_and_rx():
+    sim, net = make_net()
+    net.attach("a", full_duplex=False)
+    net.attach("b", full_duplex=False)
+    times = []
+    net.transfer("a", "b", 100_000, lambda: times.append(sim.now))
+    net.transfer("b", "a", 100_000, lambda: times.append(sim.now))
+    sim.run()
+    # with half duplex the second transfer cannot overlap the first
+    assert times[1] > times[0] * 1.5
+
+
+def test_full_duplex_overlaps_both_directions():
+    sim, net = make_net()
+    net.attach("a")
+    net.attach("b")
+    times = []
+    net.transfer("a", "b", 100_000, lambda: times.append(sim.now))
+    net.transfer("b", "a", 100_000, lambda: times.append(sim.now))
+    sim.run()
+    assert abs(times[0] - times[1]) < 1e-9  # fully overlapped
+
+
+def test_loopback_costs_only_extra_latency():
+    sim, net = make_net()
+    net.attach("a")
+    done = []
+    net.transfer("a", "a", 10_000_000, lambda: done.append(sim.now), extra_latency=1e-6)
+    sim.run()
+    assert done == [1e-6]
+
+
+def test_stats_accounting():
+    sim, net = make_net()
+    a = net.attach("a")
+    b = net.attach("b")
+    net.transfer("a", "b", 500, lambda: None)
+    net.transfer("a", "b", 700, lambda: None)
+    sim.run()
+    assert a.stats.messages_sent == 2
+    assert a.stats.bytes_sent == 1200
+    assert b.stats.messages_received == 2
+    assert b.stats.bytes_received == 1200
+    assert net.total_messages == 2 and net.total_bytes == 1200
+
+
+def test_negative_size_raises():
+    sim, net = make_net()
+    net.attach("a")
+    net.attach("b")
+    with pytest.raises(SimulationError):
+        net.transfer("a", "b", -1, lambda: None)
+
+
+def test_duplicate_nic_raises():
+    sim, net = make_net()
+    net.attach("a")
+    with pytest.raises(SimulationError):
+        net.attach("a")
+
+
+def test_per_nic_bandwidth_override():
+    sim, net = make_net()
+    net.attach("a", bandwidth_bps=400e6)
+    net.attach("b", bandwidth_bps=400e6)
+    done = []
+    net.transfer("a", "b", 1_000_000, lambda: done.append(sim.now))
+    sim.run()
+    wire = (1_000_000 + 66) * 8 / (400e6 * 0.93)
+    assert abs(done[0] - (wire + 25e-6)) < 1e-9
+
+
+def test_chunked_transfer_allows_interleaving():
+    sim, net = make_net()
+    net.attach("a")
+    net.attach("b")
+    done = {}
+    # a 4 MB bulk transfer and a small message issued shortly after
+    net.transfer_chunked("a", "b", 4 * 1024 * 1024, lambda: done.setdefault("bulk", sim.now))
+    sim.schedule(1e-4, lambda: net.transfer("a", "b", 100, lambda: done.setdefault("small", sim.now)))
+    sim.run()
+    # the small message must NOT wait for the whole 4 MB (≈0.36 s)
+    assert done["small"] < 0.05
+    assert done["bulk"] > done["small"]
+
+
+def test_chunked_transfer_small_payload_is_single_message():
+    sim, net = make_net()
+    net.attach("a")
+    net.attach("b")
+    before = net.total_messages
+    net.transfer_chunked("a", "b", 1000, lambda: None)
+    sim.run()
+    assert net.total_messages == before + 1
+
+
+def test_chunked_transfer_delivers_once_with_full_volume():
+    sim, net = make_net()
+    net.attach("a")
+    net.attach("b")
+    done = []
+    net.transfer_chunked("a", "b", 1_000_000, done.append and (lambda: done.append(sim.now)), chunk_bytes=100_000)
+    sim.run()
+    assert len(done) == 1
+    assert net.total_bytes == 1_000_000

@@ -1,0 +1,141 @@
+"""Integration shape tests: the paper's headline claims on NAS skeletons.
+
+Each test pins one qualitative result of the evaluation section; these are
+the assertions behind EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro import Cluster
+from repro.workloads.nas import make_app
+
+RUNS = {}
+
+
+def nas(bench, klass, nprocs, stack, iterations):
+    key = (bench, klass, nprocs, stack, iterations)
+    if key not in RUNS:
+        app, _ = make_app(bench, klass, nprocs, iterations=iterations)
+        RUNS[key] = Cluster(nprocs=nprocs, app_factory=app, stack=stack).run(
+            max_events=50_000_000
+        )
+    return RUNS[key]
+
+
+# --------------------------------------------------------------------- #
+# Fig. 7 shapes: piggyback volume
+
+@pytest.mark.parametrize("bench,iters", [("bt", 4), ("cg", 2), ("lu", 2)])
+@pytest.mark.parametrize("proto", ["vcausal", "manetho", "logon"])
+def test_el_collapses_piggyback_volume(bench, iters, proto):
+    """'This outlines the major impact of using an Event Logger on the
+    size of piggybacked events.'"""
+    with_el = nas(bench, "A", 16, proto, iters)
+    without = nas(bench, "A", 16, f"{proto}-noel", iters)
+    assert with_el.probes.piggyback_fraction < 0.5 * without.probes.piggyback_fraction
+
+
+def test_piggyback_volume_grows_with_procs_noel():
+    """Fig. 7: exponential-ish growth of piggyback share with node count."""
+    fractions = [
+        nas("cg", "A", p, "vcausal-noel", 2).probes.piggyback_fraction
+        for p in (2, 4, 8, 16)
+    ]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] > 5 * fractions[0]
+
+
+def test_lu16_el_keeps_large_residue():
+    """Fig. 7: at LU/16 the EL saturates and cannot absorb everything."""
+    lu = nas("lu", "A", 16, "vcausal", 2)
+    bt = nas("bt", "A", 16, "vcausal", 4)
+    assert lu.probes.piggyback_fraction > 5 * bt.probes.piggyback_fraction
+
+
+def test_logon_pays_more_bytes_per_event():
+    """§III-C: flat 16-byte events vs factored 12-byte events."""
+    lg = nas("lu", "A", 16, "logon-noel", 2).probes
+    mn = nas("lu", "A", 16, "manetho-noel", 2).probes
+    bytes_per_event_lg = lg.total_piggyback_bytes / max(lg.total("piggyback_events_sent"), 1)
+    bytes_per_event_mn = mn.total_piggyback_bytes / max(mn.total("piggyback_events_sent"), 1)
+    assert bytes_per_event_lg > bytes_per_event_mn
+
+
+def test_manetho_reduces_events_vs_vcausal_on_bt():
+    """Antecedence-graph inference prunes third-party duplicates."""
+    vc = nas("bt", "A", 16, "vcausal-noel", 4).probes
+    mn = nas("bt", "A", 16, "manetho-noel", 4).probes
+    assert mn.total("piggyback_events_sent") < vc.total("piggyback_events_sent")
+
+
+# --------------------------------------------------------------------- #
+# Fig. 8 shapes: piggyback computation time
+
+@pytest.mark.parametrize("bench,iters", [("cg", 2), ("lu", 2)])
+def test_vcausal_serialization_cheapest(bench, iters):
+    """'The Vcausal serialization outperforms the other two protocols.'"""
+    vc = nas(bench, "A", 16, "vcausal-noel", iters).probes
+    mn = nas(bench, "A", 16, "manetho-noel", iters).probes
+    lg = nas(bench, "A", 16, "logon-noel", iters).probes
+    assert vc.pb_total_time_s < mn.pb_total_time_s
+    assert vc.pb_total_time_s < lg.pb_total_time_s
+
+
+def test_logon_send_heavy_manetho_recv_heavy():
+    """'LogOn spends more time to reorder ... during send; as a
+    consequence Manetho spends more time during receive.'"""
+    mn = nas("cg", "A", 16, "manetho-noel", 2).probes
+    lg = nas("cg", "A", 16, "logon-noel", 2).probes
+    assert lg.pb_send_time_s / max(lg.pb_recv_time_s, 1e-12) > (
+        mn.pb_send_time_s / max(mn.pb_recv_time_s, 1e-12)
+    )
+
+
+def test_el_reduces_pb_computation_time():
+    for proto in ("vcausal", "manetho", "logon"):
+        with_el = nas("cg", "A", 16, proto, 2).probes
+        without = nas("cg", "A", 16, f"{proto}-noel", 2).probes
+        assert with_el.pb_total_time_s < without.pb_total_time_s
+
+
+# --------------------------------------------------------------------- #
+# Fig. 9 shapes: application performance
+
+@pytest.mark.parametrize("bench,iters", [("cg", 2), ("lu", 2), ("ft", 4)])
+@pytest.mark.parametrize("proto", ["vcausal", "manetho", "logon"])
+def test_el_improves_performance(bench, iters, proto):
+    """'Whatever the protocol or benchmark is used, performance is
+    improved using Event Logger.'"""
+    with_el = nas(bench, "A", 16, proto, iters)
+    without = nas(bench, "A", 16, f"{proto}-noel", iters)
+    assert with_el.mflops >= without.mflops
+
+
+def test_vdummy_beats_p4_on_duplex_friendly_benchmarks():
+    """'Vdummy can benefit from full-duplex communications.'"""
+    vd = nas("cg", "A", 16, "vdummy", 2)
+    p4 = nas("cg", "A", 16, "p4", 2)
+    assert vd.mflops > p4.mflops
+
+
+def test_causal_with_el_close_to_vdummy():
+    vd = nas("bt", "A", 16, "vdummy", 4)
+    vc = nas("bt", "A", 16, "vcausal", 4)
+    assert vc.mflops > 0.95 * vd.mflops
+
+
+def test_el_protocols_nearly_equal():
+    """'This leads Vcausal to compete with antecedence graph based
+    methods when using Event Logger.'"""
+    values = [nas("cg", "A", 16, p, 2).mflops for p in ("vcausal", "manetho", "logon")]
+    assert (max(values) - min(values)) / max(values) < 0.05
+
+
+def test_lu16_noel_punishes_logon_hardest():
+    """Fig. 9 LU/16: 'the large amount of piggybacked events decreases
+    LogOn performance.'"""
+    lg = nas("lu", "A", 16, "logon-noel", 2)
+    vc = nas("lu", "A", 16, "vcausal-noel", 2)
+    mn = nas("lu", "A", 16, "manetho-noel", 2)
+    assert lg.mflops < vc.mflops
+    assert lg.mflops < mn.mflops

@@ -1,0 +1,73 @@
+"""Probe accounting consistency tests."""
+
+import pytest
+
+from repro.metrics.probes import ClusterProbes, ProcessProbes, RecoveryRecord
+
+from tests.conftest import run_ring
+
+
+def test_rank_accessor_creates_and_caches():
+    probes = ClusterProbes()
+    p1 = probes.rank(3)
+    p2 = probes.rank(3)
+    assert p1 is p2
+    assert p1.rank == 3
+
+
+def test_total_sums_across_ranks():
+    probes = ClusterProbes()
+    probes.rank(0).app_messages_sent = 5
+    probes.rank(1).app_messages_sent = 7
+    assert probes.total("app_messages_sent") == 12
+
+
+def test_piggyback_fraction_zero_without_traffic():
+    assert ClusterProbes().piggyback_fraction == 0.0
+
+
+def test_note_events_held_tracks_peak():
+    p = ProcessProbes()
+    p.note_events_held(5)
+    p.note_events_held(3)
+    assert p.events_held_peak == 5
+
+
+def test_end_to_end_accounting_consistency():
+    result = run_ring("vcausal", nprocs=4, iterations=10)
+    probes = result.probes
+    # every rank sent and received messages
+    for r in range(4):
+        pp = probes.per_rank[r]
+        assert pp.app_messages_sent > 0
+        assert pp.receptions > 0
+        assert pp.compute_time_s > 0
+        assert pp.flops > 0
+    # every reception was posted to the EL, and all were stored
+    assert probes.total("el_events_logged") == probes.total("receptions")
+    assert probes.el_determinants_stored == probes.total("receptions")
+    # per-message piggyback ratio is sane
+    assert probes.total("messages_with_piggyback") <= probes.total(
+        "app_messages_sent"
+    )
+
+
+def test_payload_bytes_exclude_piggyback():
+    with_el = run_ring("vcausal", nprocs=4, iterations=10)
+    without = run_ring("vcausal-noel", nprocs=4, iterations=10)
+    # identical application → identical payload bytes, different piggyback
+    assert with_el.probes.total_payload_bytes == without.probes.total_payload_bytes
+    assert with_el.probes.total_piggyback_bytes < without.probes.total_piggyback_bytes
+
+
+def test_recovery_record_defaults():
+    rec = RecoveryRecord(rank=2, fault_time=1.0)
+    assert rec.events_collected == 0
+    assert rec.event_sources == 0
+
+
+def test_compute_time_matches_flops_rate():
+    result = run_ring("vdummy", nprocs=2, iterations=5)
+    for pp in result.probes.per_rank.values():
+        expected = pp.flops / result.cluster.config.node_flops
+        assert pp.compute_time_s == pytest.approx(expected)

@@ -1,0 +1,231 @@
+"""Unit tests for generator-coroutine processes and futures."""
+
+import pytest
+
+from repro.simulator.engine import SimulationError, Simulator
+from repro.simulator.process import Future, ProcessCrashed, SimProcess, wait_all
+
+
+def test_process_yields_delays():
+    sim = Simulator()
+    marks = []
+
+    def gen():
+        marks.append(sim.now)
+        yield 1.5
+        marks.append(sim.now)
+        yield 0.5
+        marks.append(sim.now)
+        return "done"
+
+    proc = SimProcess(sim, "p", gen)
+    proc.start()
+    sim.run()
+    assert marks == [0.0, 1.5, 2.0]
+    assert proc.finished and proc.result == "done"
+
+
+def test_process_blocks_on_future_until_resolved():
+    sim = Simulator()
+    fut = Future(sim, "f")
+    got = []
+
+    def gen():
+        value = yield fut
+        got.append((sim.now, value))
+
+    SimProcess(sim, "p", gen).start()
+    sim.schedule(2.0, fut.resolve, 42)
+    sim.run()
+    assert got == [(2.0, 42)]
+
+
+def test_already_resolved_future_resumes_immediately():
+    sim = Simulator()
+    fut = Future(sim, "f")
+    fut.resolve("early")
+    got = []
+
+    def gen():
+        value = yield fut
+        got.append(value)
+
+    SimProcess(sim, "p", gen).start()
+    sim.run()
+    assert got == ["early"]
+
+
+def test_future_double_resolve_raises():
+    sim = Simulator()
+    fut = Future(sim, "f")
+    fut.resolve(1)
+    with pytest.raises(SimulationError, match="twice"):
+        fut.resolve(2)
+
+
+def test_future_double_await_raises():
+    sim = Simulator()
+    fut = Future(sim, "f")
+
+    def gen():
+        yield fut
+
+    SimProcess(sim, "a", gen).start()
+    SimProcess(sim, "b", gen).start()
+    with pytest.raises(SimulationError, match="awaited twice"):
+        sim.run(check_deadlock=False)
+
+
+def test_cancelled_future_resolution_is_ignored():
+    sim = Simulator()
+    fut = Future(sim, "f")
+    fut.cancel()
+    fut.resolve(1)  # no raise
+    assert not fut.resolved
+
+
+def test_kill_while_waiting():
+    sim = Simulator()
+    fut = Future(sim, "f")
+    cleanup = []
+
+    def gen():
+        try:
+            yield fut
+        except ProcessCrashed:
+            cleanup.append("crashed")
+            raise
+
+    proc = SimProcess(sim, "p", gen)
+    proc.start()
+    sim.schedule(1.0, proc.kill)
+    sim.schedule(2.0, fut.resolve, "late")  # must be ignored
+    sim.run()
+    assert cleanup == ["crashed"]
+    assert not proc.alive and not proc.finished
+
+
+def test_restart_after_kill_gets_fresh_generator():
+    sim = Simulator()
+    runs = []
+
+    def gen():
+        runs.append("start")
+        yield 10.0
+        runs.append("end")
+        return len(runs)
+
+    proc = SimProcess(sim, "p", gen)
+    proc.start()
+    sim.schedule(1.0, proc.kill)
+    sim.schedule(2.0, proc.start)
+    sim.run()
+    assert runs == ["start", "start", "end"]
+    assert proc.finished
+    assert proc.incarnation == 2
+
+
+def test_stale_wakeup_from_previous_incarnation_ignored():
+    sim = Simulator()
+    seen = []
+
+    def gen():
+        yield 5.0  # delayed resume scheduled for t=5
+        seen.append(sim.now)
+
+    proc = SimProcess(sim, "p", gen)
+    proc.start()
+    # kill at t=1 and restart at t=2: the t=5 resume of incarnation 1 must
+    # not advance incarnation 2 (whose own delay ends at t=7)
+    sim.schedule(1.0, proc.kill)
+    sim.schedule(2.0, proc.start)
+    sim.run()
+    assert seen == [7.0]
+
+
+def test_on_exit_callback():
+    sim = Simulator()
+    done = []
+
+    def gen():
+        yield 1.0
+        return "value"
+
+    SimProcess(sim, "p", gen, on_exit=lambda p, r: done.append(r)).start()
+    sim.run()
+    assert done == ["value"]
+
+
+def test_yield_from_delegation():
+    sim = Simulator()
+
+    def subroutine():
+        yield 1.0
+        return 10
+
+    def gen():
+        a = yield from subroutine()
+        b = yield from subroutine()
+        return a + b
+
+    proc = SimProcess(sim, "p", gen)
+    proc.start()
+    sim.run()
+    assert proc.result == 20
+    assert sim.now == 2.0
+
+
+def test_unsupported_yield_value_raises():
+    sim = Simulator()
+
+    def gen():
+        yield "nonsense"
+
+    SimProcess(sim, "p", gen).start()
+    with pytest.raises(SimulationError, match="unsupported"):
+        sim.run()
+
+
+def test_wait_all_collects_all_values():
+    sim = Simulator()
+    futs = [Future(sim, f"f{i}") for i in range(3)]
+    got = []
+
+    def gen():
+        values = yield from wait_all(sim, futs)
+        got.append(values)
+
+    SimProcess(sim, "p", gen).start()
+    # resolve out of order
+    sim.schedule(3.0, futs[0].resolve, "a")
+    sim.schedule(1.0, futs[2].resolve, "c")
+    sim.schedule(2.0, futs[1].resolve, "b")
+    sim.run()
+    assert got == [["a", "b", "c"]]
+    assert sim.now == 3.0
+
+
+def test_start_while_alive_raises():
+    sim = Simulator()
+
+    def gen():
+        yield 1.0
+
+    proc = SimProcess(sim, "p", gen)
+    proc.start()
+    with pytest.raises(SimulationError):
+        proc.start()
+
+
+def test_blocked_process_is_reported_on_deadlock():
+    sim = Simulator()
+    fut = Future(sim, "never")
+
+    def gen():
+        yield fut
+
+    SimProcess(sim, "stuck-proc", gen).start()
+    from repro.simulator.engine import DeadlockError
+
+    with pytest.raises(DeadlockError, match="stuck-proc"):
+        sim.run()

@@ -1,0 +1,204 @@
+"""Integration tests: fault injection and recovery correctness.
+
+The defining property of the whole system: an application run under any
+fault-tolerant stack, with any fault pattern, must produce results
+identical to the fault-free run (replay fidelity / no orphans), and the
+run must complete.
+"""
+
+import pytest
+
+from repro import Cluster, OneShotFaults, PeriodicFaults
+
+from tests.conftest import CAUSAL_STACKS, LOGGING_STACKS, ring_app, run_ring
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    result = run_ring("vcausal", nprocs=4, iterations=25)
+    assert result.finished
+    return result.results
+
+
+@pytest.mark.parametrize("stack", LOGGING_STACKS)
+def test_single_fault_preserves_results(stack, baseline):
+    result = run_ring(
+        stack, nprocs=4, iterations=25,
+        fault_plan=OneShotFaults([(0.01, 0)]),
+    )
+    assert result.finished
+    assert result.results == baseline
+    assert result.probes.total("restarts") == 1
+
+
+@pytest.mark.parametrize("stack", ["vcausal", "vcausal-noel", "manetho-noel"])
+@pytest.mark.parametrize("victim", [0, 1, 3])
+def test_fault_on_any_rank(stack, victim, baseline):
+    result = run_ring(
+        stack, nprocs=4, iterations=25,
+        fault_plan=OneShotFaults([(0.02, victim)]),
+    )
+    assert result.finished
+    assert result.results == baseline
+
+
+@pytest.mark.parametrize("stack", ["vcausal", "logon", "pessimistic"])
+def test_two_sequential_faults(stack, baseline):
+    result = run_ring(
+        stack, nprocs=4, iterations=25,
+        fault_plan=OneShotFaults([(0.01, 0), (0.5, 2)]),
+    )
+    assert result.finished
+    assert result.results == baseline
+    assert result.probes.total("restarts") == 2
+
+
+@pytest.mark.parametrize("stack", ["vcausal", "manetho"])
+def test_same_rank_killed_twice(stack, baseline):
+    result = run_ring(
+        stack, nprocs=4, iterations=25,
+        fault_plan=OneShotFaults([(0.01, 1), (0.6, 1)]),
+    )
+    assert result.finished
+    assert result.results == baseline
+
+
+def test_fault_with_checkpoints_round_robin(baseline):
+    result = run_ring(
+        "vcausal", nprocs=4, iterations=25,
+        checkpoint_policy="round-robin", checkpoint_interval_s=0.05,
+        fault_plan=OneShotFaults([(0.3, 0)]),
+    )
+    assert result.finished
+    assert result.results == baseline
+    assert result.probes.checkpoints_stored > 0
+
+
+def test_fault_with_checkpoints_random_policy(baseline):
+    result = run_ring(
+        "manetho", nprocs=4, iterations=25,
+        checkpoint_policy="random", checkpoint_interval_s=0.05,
+        fault_plan=OneShotFaults([(0.3, 2)]),
+    )
+    assert result.finished
+    assert result.results == baseline
+
+
+def test_coordinated_restart_from_scratch(baseline):
+    result = run_ring(
+        "coordinated", nprocs=4, iterations=25,
+        checkpoint_policy="coordinated", checkpoint_interval_s=50.0,
+        fault_plan=OneShotFaults([(0.02, 1)]),
+    )
+    assert result.finished
+    assert result.results == baseline
+    assert result.cluster.dispatcher.global_restarts == 1
+
+
+def test_coordinated_restart_from_wave(baseline):
+    result = run_ring(
+        "coordinated", nprocs=4, iterations=25,
+        checkpoint_policy="coordinated", checkpoint_interval_s=0.15,
+        fault_plan=OneShotFaults([(0.4, 1)]),
+    )
+    assert result.finished
+    assert result.results == baseline
+    assert result.probes.checkpoints_stored >= 4
+
+
+def test_periodic_faults_until_completion(baseline):
+    result = run_ring(
+        "vcausal", nprocs=4, iterations=25,
+        checkpoint_policy="round-robin", checkpoint_interval_s=0.05,
+        fault_plan=PeriodicFaults(per_minute=120, start_s=0.05),
+    )
+    assert result.finished
+    assert result.results == baseline
+    assert result.cluster.dispatcher.faults_seen >= 2
+
+
+def test_recovery_record_captured(baseline):
+    result = run_ring(
+        "vcausal", nprocs=4, iterations=25,
+        fault_plan=OneShotFaults([(0.05, 0)]),
+    )
+    rec = result.probes.recoveries[0]
+    assert rec.rank == 0
+    assert rec.fault_time == pytest.approx(0.05)
+    assert rec.detect_time > rec.fault_time
+    assert rec.event_collection_s > 0
+    assert rec.events_collected > 0
+    assert rec.event_sources == 1  # from the EL
+
+
+def test_recovery_sources_without_el(baseline):
+    result = run_ring(
+        "vcausal-noel", nprocs=4, iterations=25,
+        fault_plan=OneShotFaults([(0.05, 0)]),
+    )
+    rec = result.probes.recoveries[0]
+    assert rec.event_sources == 3  # every other node
+
+
+def test_el_collection_faster_than_peers_at_scale():
+    base = run_ring("vcausal", nprocs=8, iterations=20)
+    with_el = run_ring(
+        "vcausal", nprocs=8, iterations=20,
+        fault_plan=OneShotFaults([(base.sim_time / 2, 0)]),
+    )
+    without_el = run_ring(
+        "vcausal-noel", nprocs=8, iterations=20,
+        fault_plan=OneShotFaults([(base.sim_time / 2, 0)]),
+    )
+    t_el = with_el.probes.recoveries[0].event_collection_s
+    t_no = without_el.probes.recoveries[0].event_collection_s
+    assert t_el < t_no
+
+
+def test_fatal_fault_on_non_ft_stack():
+    from repro.runtime.dispatcher import FatalFaultError
+
+    with pytest.raises(FatalFaultError):
+        run_ring("vdummy", nprocs=4, iterations=25,
+                 fault_plan=OneShotFaults([(0.01, 0)]))
+
+
+def test_fault_after_completion_is_ignored(baseline):
+    base = run_ring("vcausal", nprocs=4, iterations=5)
+    result = run_ring(
+        "vcausal", nprocs=4, iterations=5,
+        fault_plan=OneShotFaults([(base.sim_time * 2, 0)]),
+    )
+    assert result.finished
+    assert result.cluster.dispatcher.faults_seen == 0
+
+
+@pytest.mark.parametrize("stack", CAUSAL_STACKS)
+def test_faulty_time_exceeds_fault_free(stack, baseline):
+    base = run_ring(stack, nprocs=4, iterations=25)
+    faulty = run_ring(
+        stack, nprocs=4, iterations=25,
+        fault_plan=OneShotFaults([(0.05, 0)]),
+    )
+    assert faulty.sim_time > base.sim_time
+
+
+def test_replayed_receptions_counted(baseline):
+    result = run_ring(
+        "vcausal", nprocs=4, iterations=25,
+        fault_plan=OneShotFaults([(0.05, 0)]),
+    )
+    assert result.probes.total("replayed_receptions") > 0
+
+
+def test_deterministic_recovery_same_seed(baseline):
+    kw = dict(
+        nprocs=4, iterations=25,
+        fault_plan=OneShotFaults([(0.05, 0)]),
+    )
+    r1 = run_ring("vcausal", **kw)
+    kw["fault_plan"] = OneShotFaults([(0.05, 0)])
+    r2 = run_ring("vcausal", **kw)
+    assert r1.sim_time == r2.sim_time
+    assert r1.results == r2.results
+    assert r1.events_executed == r2.events_executed

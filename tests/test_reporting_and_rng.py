@@ -1,0 +1,62 @@
+"""Tests for report formatting and seeded RNG streams."""
+
+import numpy as np
+
+from repro.metrics.reporting import format_series, format_table
+from repro.simulator.rng import SeedSequenceStream
+
+
+def test_format_table_alignment_and_content():
+    out = format_table(
+        ["name", "value"],
+        [["alpha", 1.2345], ["b", 12345.6]],
+        title="My table",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "My table"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "alpha" in out
+    assert "12,346" in out  # thousands formatting
+
+
+def test_format_table_without_title():
+    out = format_table(["a"], [["x"]])
+    assert out.splitlines()[0].startswith("a")
+
+
+def test_format_numbers_ranges():
+    out = format_table(["v"], [[0], [0.00123], [3.14159], [42.42], [1e6]])
+    assert "0.00123" in out
+    assert "3.14" in out
+    assert "42.4" in out
+    assert "1,000,000" in out
+
+
+def test_format_series_pivots_by_x():
+    out = format_series(
+        "size", [1, 2], {"a": [10, 20], "b": [30, 40]}, title="S"
+    )
+    lines = out.splitlines()
+    assert "size" in lines[1]
+    assert "a" in lines[1] and "b" in lines[1]
+    assert "10" in lines[3] and "30" in lines[3]
+
+
+def test_rng_streams_deterministic_per_name():
+    s = SeedSequenceStream(42)
+    a1 = s.generator("alpha").random(5)
+    a2 = SeedSequenceStream(42).generator("alpha").random(5)
+    assert np.allclose(a1, a2)
+
+
+def test_rng_streams_independent_across_names():
+    s = SeedSequenceStream(42)
+    a = s.generator("alpha").random(5)
+    b = s.generator("beta").random(5)
+    assert not np.allclose(a, b)
+
+
+def test_rng_streams_change_with_seed():
+    a = SeedSequenceStream(1).generator("x").random(5)
+    b = SeedSequenceStream(2).generator("x").random(5)
+    assert not np.allclose(a, b)

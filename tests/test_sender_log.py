@@ -1,0 +1,65 @@
+"""Unit tests for the sender-based payload log."""
+
+from repro.core.sender_log import SenderLog
+
+
+def test_record_and_get():
+    log = SenderLog(0)
+    log.record(1, 1, 7, 100, "payload")
+    entry = log.get(1, 1)
+    assert entry.payload == "payload"
+    assert entry.nbytes == 100
+    assert log.bytes_held == 100
+    assert log.messages_held == 1
+
+
+def test_record_duplicate_ssn_is_idempotent():
+    """Replayed re-executions regenerate identical sends."""
+    log = SenderLog(0)
+    log.record(1, 1, 0, 100, "a")
+    log.record(1, 1, 0, 100, "a")
+    assert log.messages_held == 1
+    assert log.bytes_held == 100
+
+
+def test_sends_to_ordered_and_filtered():
+    log = SenderLog(0)
+    for ssn in (3, 1, 2, 5, 4):
+        log.record(2, ssn, 0, 10, f"p{ssn}")
+    got = log.sends_to(2, ssn_after=2)
+    assert [e.ssn for e in got] == [3, 4, 5]
+    assert log.sends_to(9) == []
+
+
+def test_gc_destination_frees_bytes():
+    log = SenderLog(0)
+    for ssn in range(1, 6):
+        log.record(1, ssn, 0, 100, None)
+    freed = log.gc_destination(1, ssn_upto=3)
+    assert freed == 300
+    assert log.bytes_held == 200
+    assert [e.ssn for e in log.sends_to(1)] == [4, 5]
+    # gc of an unknown destination is a no-op
+    assert log.gc_destination(7, 100) == 0
+
+
+def test_iteration_covers_all_destinations():
+    log = SenderLog(0)
+    log.record(1, 1, 0, 10, None)
+    log.record(2, 1, 0, 20, None)
+    assert sorted(e.dst for e in log) == [1, 2]
+
+
+def test_export_restore_roundtrip():
+    log = SenderLog(0)
+    for ssn in range(1, 4):
+        log.record(1, ssn, 0, 50, f"m{ssn}")
+    state = log.export_state()
+    fresh = SenderLog(0)
+    fresh.restore_state(state)
+    assert fresh.bytes_held == log.bytes_held
+    assert fresh.messages_held == log.messages_held
+    assert [e.payload for e in fresh.sends_to(1)] == ["m1", "m2", "m3"]
+    # the restored log is independent of the snapshot
+    fresh.record(1, 4, 0, 50, "m4")
+    assert log.get(1, 4) is None

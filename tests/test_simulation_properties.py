@@ -1,0 +1,85 @@
+"""Hypothesis properties on the simulation substrate and end-to-end runs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster, OneShotFaults
+from repro.simulator.engine import Simulator
+from repro.simulator.network import Network
+
+from tests.conftest import ring_app
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    sizes=st.lists(st.integers(1, 1_000_000), min_size=1, max_size=20),
+)
+def test_network_fifo_per_channel_any_sizes(sizes):
+    """Per-channel FIFO holds for arbitrary message size sequences."""
+    sim = Simulator()
+    net = Network(sim)
+    net.attach("a")
+    net.attach("b")
+    order = []
+    for i, n in enumerate(sizes):
+        net.transfer("a", "b", n, lambda i=i: order.append(i))
+    sim.run()
+    assert order == list(range(len(sizes)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    plan=st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(1, 100_000)),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_network_conserves_bytes(plan):
+    """Total bytes sent equals total bytes received across any traffic."""
+    sim = Simulator()
+    net = Network(sim)
+    for name in ("h0", "h1", "h2"):
+        net.attach(name)
+    for src, dst, n in plan:
+        net.transfer(f"h{src}", f"h{dst}", n, lambda: None)
+    sim.run()
+    sent = sum(nic.stats.bytes_sent for nic in net.nics.values())
+    received = sum(nic.stats.bytes_received for nic in net.nics.values())
+    assert sent == received == sum(n for _, _, n in plan)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    delays=st.lists(st.floats(0.0, 10.0, allow_nan=False), max_size=30)
+)
+def test_clock_never_goes_backwards(delays):
+    sim = Simulator()
+    seen = []
+    for d in delays:
+        sim.schedule(d, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == sorted(seen)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    fault_frac=st.floats(0.1, 0.9),
+    victim=st.integers(0, 3),
+    data=st.data(),
+)
+def test_recovery_fidelity_any_fault_time(fault_frac, victim, data):
+    """Property: a fault at ANY time, on ANY rank, under ANY logging
+    stack, reproduces the fault-free results exactly."""
+    stack = data.draw(
+        st.sampled_from(["vcausal", "manetho-noel", "logon", "pessimistic"])
+    )
+    base = Cluster(nprocs=4, app_factory=ring_app(12), stack=stack).run()
+    faulty = Cluster(
+        nprocs=4,
+        app_factory=ring_app(12),
+        stack=stack,
+        fault_plan=OneShotFaults([(base.sim_time * fault_frac, victim)]),
+    ).run(max_events=30_000_000)
+    assert faulty.finished
+    assert faulty.results == base.results

@@ -1,0 +1,90 @@
+"""Synthetic workload tests, including wildcard-receive replay."""
+
+import pytest
+
+from repro import Cluster, OneShotFaults
+from repro.workloads import synthetic
+
+
+def run(app, nprocs, stack="vcausal", **kw):
+    result = Cluster(nprocs=nprocs, app_factory=app, stack=stack, **kw).run(
+        max_events=30_000_000
+    )
+    assert result.finished
+    return result
+
+
+def test_stencil_completes_and_verifies():
+    app = synthetic.stencil_2d(2, 2, iterations=8)
+    r1 = run(app, 4)
+    r2 = run(synthetic.stencil_2d(2, 2, iterations=8), 4, stack="vdummy")
+    assert r1.results == r2.results
+
+
+def test_stencil_rejects_wrong_grid():
+    app = synthetic.stencil_2d(2, 2, iterations=2)
+    with pytest.raises(ValueError):
+        Cluster(nprocs=3, app_factory=app).run()
+
+
+def test_ring_token_passes_all_ranks():
+    result = run(synthetic.ring(iterations=6), 5)
+    assert all(v == result.results[0] for v in result.results.values())
+
+
+def test_random_pairs_deterministic_across_stacks():
+    a = run(synthetic.random_pairs(iterations=12, seed=3), 6)
+    b = run(synthetic.random_pairs(iterations=12, seed=3), 6, stack="manetho-noel")
+    assert a.results == b.results
+
+
+def test_random_pairs_seed_changes_schedule():
+    a = run(synthetic.random_pairs(iterations=12, seed=3), 6)
+    b = run(synthetic.random_pairs(iterations=12, seed=4), 6)
+    assert a.results != b.results or a.sim_time != b.sim_time
+
+
+def test_master_worker_completes_all_tasks():
+    result = run(synthetic.master_worker(tasks=12), 4)
+    assert all(v == result.results[0] for v in result.results.values())
+
+
+def test_master_worker_single_rank_degenerates():
+    result = run(synthetic.master_worker(tasks=4), 1)
+    assert result.results[0] == 0
+
+
+@pytest.mark.parametrize("stack", ["vcausal", "manetho", "logon", "vcausal-noel"])
+def test_master_worker_wildcard_replay_after_worker_fault(stack):
+    """ANY_SOURCE reception order is the nondeterministic event par
+    excellence: killing a worker must not change the master's outcome."""
+    base = run(synthetic.master_worker(tasks=16), 4, stack=stack)
+    faulty = run(
+        synthetic.master_worker(tasks=16), 4, stack=stack,
+        fault_plan=OneShotFaults([(base.sim_time / 2, 2)]),
+    )
+    assert faulty.results == base.results
+
+
+@pytest.mark.parametrize("stack", ["vcausal", "pessimistic"])
+def test_master_worker_master_fault(stack):
+    """Killing the master itself: its wildcard reception order must be
+    replayed exactly from the determinants."""
+    base = run(synthetic.master_worker(tasks=16), 4, stack=stack)
+    faulty = run(
+        synthetic.master_worker(tasks=16), 4, stack=stack,
+        fault_plan=OneShotFaults([(base.sim_time / 2, 0)]),
+    )
+    assert faulty.results == base.results
+
+
+def test_stencil_fault_with_checkpoints():
+    app = synthetic.stencil_2d(2, 2, iterations=20, flops_per_iter=3e6)
+    base = run(app, 4)
+    faulty = run(
+        synthetic.stencil_2d(2, 2, iterations=20, flops_per_iter=3e6), 4,
+        checkpoint_policy="round-robin",
+        checkpoint_interval_s=base.sim_time / 6,
+        fault_plan=OneShotFaults([(base.sim_time * 0.7, 3)]),
+    )
+    assert faulty.results == base.results
