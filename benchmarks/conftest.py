@@ -17,6 +17,21 @@ def pytest_addoption(parser):
         default=False,
         help="run full parameter sweeps instead of the fast subsets",
     )
+    parser.addoption(
+        "--run-bench",
+        action="store_true",
+        default=False,
+        help="run tests marked 'bench' (full perf scenarios; skipped by default)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-bench"):
+        return
+    skip = pytest.mark.skip(reason="perf benchmark; pass --run-bench to run")
+    for item in items:
+        if "bench" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")

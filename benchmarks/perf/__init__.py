@@ -1,0 +1,1 @@
+"""Persistent performance benchmark harness (see README.md here)."""

@@ -1,0 +1,256 @@
+"""Performance benchmark driver: engine microbenches + paper scenarios.
+
+Produces the repo-root ``BENCH_<n>.json`` trajectory files.  Each scenario
+is run ``--repeats`` times (default 3) with fixed seeds; the minimum wall
+time is reported (least-noise estimator) together with a determinism
+checksum (simulated event counts, simulated completion time, piggyback
+totals).  A run is only comparable to a recorded baseline when the
+checksums match exactly — a speedup on different simulation results is
+meaningless.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.run_bench                 # full run
+    PYTHONPATH=src python -m benchmarks.perf.run_bench --quick         # CI smoke
+    PYTHONPATH=src python -m benchmarks.perf.run_bench --record-baseline
+
+The ``--record-baseline`` mode writes ``benchmarks/perf/baseline_seed.json``
+(the reference this repo's speedups are measured against); the default mode
+reads it and writes ``BENCH_1.json`` at the repo root with per-scenario
+speedups.  ``--quick`` shrinks every scenario so the whole driver finishes
+in seconds; it never overwrites the baseline and skips the BENCH file
+unless ``--output`` is given explicitly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline_seed.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_1.json"
+
+
+# --------------------------------------------------------------------- #
+# scenarios — each returns (sim_events, checksum_dict)
+
+def engine_chain(n_chains: int, length: int):
+    """Pure engine overhead: self-rescheduling callback chains."""
+    from repro.simulator.engine import Simulator
+
+    sim = Simulator()
+
+    def chain(remaining):
+        if remaining:
+            sim.schedule(1e-3, chain, remaining - 1)
+
+    for j in range(n_chains):
+        sim.schedule(j * 1e-6, chain, length - 1)
+    sim.run()
+    return sim.events_executed, {
+        "events": sim.events_executed,
+        "now": round(sim.now, 9),
+    }
+
+
+def engine_fanout(n_events: int):
+    """Bulk scheduling + drain: many pre-scheduled independent events."""
+    from repro.simulator.engine import Simulator
+
+    sim = Simulator()
+    fired = [0]
+
+    def cb():
+        fired[0] += 1
+
+    items = [((i % 997) * 1e-6, cb, ()) for i in range(n_events)]
+    bulk = getattr(sim, "schedule_bulk", None)
+    if bulk is not None:
+        bulk(items)
+    else:  # pre-bulk-API engine: push one at a time
+        for delay, fn, args in items:
+            sim.schedule(delay, fn, *args)
+    sim.run()
+    return sim.events_executed, {
+        "events": sim.events_executed,
+        "fired": fired[0],
+        "now": round(sim.now, 9),
+    }
+
+
+def pingpong(stack: str, reps: int):
+    """Fig. 6 ping-pong: daemon + protocol per-message path, 2 ranks."""
+    from repro.workloads.netpipe import measure_latency
+
+    latency, result = measure_latency(stack, nbytes=1, reps=reps)
+    return result.events_executed, {
+        "events": result.events_executed,
+        "latency_us": round(latency * 1e6, 6),
+        "sim_time": round(result.sim_time, 9),
+    }
+
+
+def nas(bench: str, nprocs: int, stack: str, iterations: int):
+    """Fig. 8/9 NAS scenario: the piggyback-heavy protocol hot path."""
+    from repro.experiments.common import run_nas
+
+    result, _info = run_nas(bench, "A", nprocs, stack, iterations=iterations)
+    probes = result.probes
+    return result.events_executed, {
+        "events": result.events_executed,
+        "sim_time": round(result.sim_time, 9),
+        "pb_events": probes.total("piggyback_events_sent"),
+        "pb_bytes": probes.total("piggyback_bytes_sent"),
+        "messages": probes.total("app_messages_sent"),
+    }
+
+
+def scenarios(quick: bool) -> dict:
+    """Scenario name -> zero-arg callable.  Fixed sizes, fixed seeds."""
+    if quick:
+        return {
+            "engine_chain": lambda: engine_chain(2, 2_000),
+            "engine_fanout": lambda: engine_fanout(10_000),
+            "pingpong_vcausal_noel": lambda: pingpong("vcausal-noel", 100),
+            "nas_cg8_vcausal_noel": lambda: nas("cg", 8, "vcausal-noel", 2),
+        }
+    return {
+        "engine_chain": lambda: engine_chain(8, 25_000),
+        "engine_fanout": lambda: engine_fanout(150_000),
+        "pingpong_vcausal_noel": lambda: pingpong("vcausal-noel", 2_000),
+        "nas_cg16_vcausal_noel": lambda: nas("cg", 16, "vcausal-noel", 10),
+        "nas_lu16_manetho_noel": lambda: nas("lu", 16, "manetho-noel", 6),
+    }
+
+
+# --------------------------------------------------------------------- #
+# measurement
+
+def measure(fn, repeats: int) -> dict:
+    walls = []
+    sim_events = None
+    checksum = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        events, chk = fn()
+        walls.append(time.perf_counter() - t0)
+        if checksum is None:
+            sim_events, checksum = events, chk
+        elif chk != checksum:
+            raise RuntimeError(f"nondeterministic scenario: {chk} != {checksum}")
+    wall = min(walls)
+    return {
+        "wall_s": round(wall, 6),
+        "wall_all_s": [round(w, 6) for w in walls],
+        "sim_events": sim_events,
+        "events_per_s": round(sim_events / wall, 1) if wall > 0 else None,
+        "checksum": checksum,
+    }
+
+
+def run_all(quick: bool, repeats: int, verbose: bool = True) -> dict:
+    out = {}
+    for name, fn in scenarios(quick).items():
+        out[name] = measure(fn, repeats)
+        if verbose:
+            r = out[name]
+            print(
+                f"{name:28s} {r['wall_s']:9.4f} s   "
+                f"{r['events_per_s']:>12,.0f} ev/s   ({r['sim_events']:,} events)"
+            )
+    return out
+
+
+def compare(results: dict, baseline: dict) -> dict:
+    """Attach per-scenario speedups vs a recorded baseline run."""
+    base_scen = baseline.get("scenarios", {})
+    for name, r in results.items():
+        b = base_scen.get(name)
+        if b is None:
+            r["baseline_wall_s"] = None
+            r["speedup"] = None
+            r["results_match_baseline"] = None
+            continue
+        r["baseline_wall_s"] = b["wall_s"]
+        r["speedup"] = round(b["wall_s"] / r["wall_s"], 3) if r["wall_s"] else None
+        r["results_match_baseline"] = r["checksum"] == b["checksum"]
+    return results
+
+
+def report_doc(results: dict, repeats: int, quick: bool, baseline_meta: dict | None) -> dict:
+    return {
+        "schema": "repro-bench-v1",
+        "generated": datetime.datetime.now().isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "quick": quick,
+        "baseline": baseline_meta,
+        "scenarios": results,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", help="tiny sizes, CI smoke mode")
+    ap.add_argument("--repeats", type=int, default=None, help="repeats per scenario")
+    ap.add_argument(
+        "--record-baseline",
+        action="store_true",
+        help=f"write the reference baseline to {BASELINE_PATH}",
+    )
+    ap.add_argument("--baseline", type=Path, default=BASELINE_PATH)
+    ap.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=f"BENCH json path (default {DEFAULT_OUTPUT}; quick mode writes none)",
+    )
+    args = ap.parse_args(argv)
+    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
+    repeats = max(1, repeats)
+
+    results = run_all(args.quick, repeats)
+
+    if args.record_baseline:
+        if args.quick:
+            print("refusing to record a baseline from a --quick run", file=sys.stderr)
+            return 2
+        doc = report_doc(results, repeats, args.quick, baseline_meta=None)
+        args.baseline.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"baseline recorded -> {args.baseline}")
+        return 0
+
+    baseline_meta = None
+    # quick mode shrinks every scenario, so checksums/walls are not
+    # comparable to the full-size recorded baseline
+    if not args.quick and args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+        compare(results, baseline)
+        baseline_meta = {
+            "path": str(args.baseline.relative_to(REPO_ROOT)),
+            "generated": baseline.get("generated"),
+        }
+        for name, r in results.items():
+            if r.get("speedup") is not None:
+                match = "ok" if r["results_match_baseline"] else "MISMATCH"
+                print(f"{name:28s} speedup {r['speedup']:5.2f}x   results {match}")
+
+    output = args.output
+    if output is None and not args.quick:
+        output = DEFAULT_OUTPUT
+    if output is not None:
+        doc = report_doc(results, repeats, args.quick, baseline_meta)
+        output.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"report -> {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

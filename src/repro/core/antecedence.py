@@ -37,6 +37,8 @@ class AntecedenceGraph:
         self.seqs: dict[int, EventSequence] = {}
         #: (creator, clock) -> Lamport stamp
         self.lamport: dict[tuple[int, int], int] = {}
+        #: maintained vertex count (len() is on the per-message cost path)
+        self._size = 0
 
     # ------------------------------------------------------------------ #
 
@@ -51,6 +53,10 @@ class AntecedenceGraph:
         return seq is not None and seq.get(event_id[1]) is not None
 
     def __len__(self) -> int:
+        return self._size
+
+    def scan_size(self) -> int:
+        """O(#creators) recount of ``len(self)`` (tests verify equality)."""
         return sum(len(s) for s in self.seqs.values())
 
     def get(self, creator: int, clock: int) -> Determinant | None:
@@ -62,33 +68,71 @@ class AntecedenceGraph:
 
     def add(self, det: Determinant) -> bool:
         """Insert a vertex (and its implicit edges); False if already present."""
-        seq = self._seq(det.creator)
-        if det.clock > seq.max_clock:
+        creator = det.creator
+        seq = self.seqs.get(creator)
+        if seq is None:
+            seq = self.seqs[creator] = EventSequence(creator)
+        clock = det.clock
+        if clock > seq.max_clock:
             seq.append(det)
-            added = True
-        elif seq.get(det.clock) is not None:
+        elif seq.holds(clock):
             return False
-        else:
-            added = seq.merge([det]) > 0
-        if added:
-            chain = self.lamport.get((det.creator, det.clock - 1), 0)
-            cross = self.lamport.get((det.sender, det.dep), 0) if det.dep > 0 else 0
-            self.lamport[(det.creator, det.clock)] = 1 + max(chain, cross)
-        return added
+        elif seq.merge([det]) == 0:
+            return False
+        lamport = self.lamport
+        chain = lamport.get((creator, clock - 1), 0)
+        cross = lamport.get((det.sender, det.dep), 0) if det.dep > 0 else 0
+        lamport[(creator, clock)] = 1 + max(chain, cross)
+        self._size += 1
+        return True
+
+    def add_run(self, dets) -> int:
+        """Insert one creator run (clock-ascending); returns vertices added.
+
+        Equivalent to calling :meth:`add` per determinant.  The factored
+        piggyback accept path hands over whole creator runs, so the two
+        frequent cases — every event new, every event already present —
+        skip the per-event sequence probes.
+        """
+        first = dets[0]
+        creator = first.creator
+        seq = self.seqs.get(creator)
+        if seq is None:
+            seq = self.seqs[creator] = EventSequence(creator)
+        count = len(dets)
+        split = seq.new_run_offset(first.clock, dets[-1].clock, count)
+        if split is None:
+            added = 0
+            for det in dets:
+                if self.add(det):
+                    added += 1
+            return added
+        if split == count:
+            return 0  # whole run already present
+        new = dets[split:] if split else dets
+        n = seq.extend_monotonic(new)
+        lamport = self.lamport
+        for det in new:
+            clock = det.clock
+            chain = lamport.get((creator, clock - 1), 0)
+            cross = lamport.get((det.sender, det.dep), 0) if det.dep > 0 else 0
+            lamport[(creator, clock)] = 1 + max(chain, cross)
+        self._size += n
+        return n
 
     def prune(self, stable: StableVector) -> int:
         """Drop vertices made stable by the EL; returns vertices dropped."""
         dropped = 0
+        lamport = self.lamport
         for creator, seq in self.seqs.items():
             bound = stable[creator]
             lo = seq.min_clock
             if lo is None or bound < lo:
                 continue
-            for det in seq.tail_after(0):
-                if det.clock > bound:
-                    break
-                self.lamport.pop((creator, det.clock), None)
+            for clock in seq.clocks_upto(bound):
+                lamport.pop((creator, clock), None)
             dropped += seq.prune_upto(bound)
+        self._size -= dropped
         return dropped
 
     # ------------------------------------------------------------------ #
@@ -131,19 +175,33 @@ class AntecedenceGraph:
         self,
         known: list[int],
         stable: StableVector,
-    ) -> tuple[list[Determinant], int]:
+    ) -> tuple[list[Determinant], int, list[tuple[int, int, int]]]:
         """Events not covered by ``known`` or the stable vector.
 
-        Returns (events grouped by creator in clock order, scan cost).
+        Returns (events grouped by creator in clock order, scan cost,
+        creator runs as ``(creator, start, stop)`` index triples).
+        ``known`` is raised in place over everything selected — every
+        selected creator tail runs to the end of its sequence, so the new
+        bound is that sequence's max clock.
         """
         events: list[Determinant] = []
         visits = 0
+        runs: list[tuple[int, int, int]] = []
+        sv = stable.view()
         for creator, seq in self.seqs.items():
-            lo = max(known[creator], stable[creator])
-            tail = seq.tail_after(lo)
-            visits += len(tail)
-            events.extend(tail)
-        return events, visits
+            lo = known[creator]
+            s = sv[creator]
+            if s > lo:
+                lo = s
+            if seq.max_clock <= lo:
+                continue  # peer already covers this creator
+            start = len(events)
+            n = seq.extend_tail_into(events, lo)
+            if n:
+                visits += n
+                runs.append((creator, start, start + n))
+                known[creator] = seq.max_clock
+        return events, visits, runs
 
     def topological(self, events: list[Determinant]) -> list[Determinant]:
         """Order ``events`` by a linear extension of the causal order."""
@@ -170,4 +228,5 @@ class AntecedenceGraph:
             seq = self._seq(creator)
             for det in dets:
                 seq.append(det)
+        self._size = self.scan_size()
         self.lamport = dict(state["lamport"])

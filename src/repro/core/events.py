@@ -18,7 +18,7 @@ Event Logger acknowledge with a single per-creator stable clock.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Iterable, NamedTuple, Optional
+from typing import Iterable, NamedTuple, Optional, Sequence
 
 
 class Determinant(NamedTuple):
@@ -59,7 +59,15 @@ class EventSequence:
     compaction, so no operation is O(n) per call in steady state.
     """
 
-    __slots__ = ("creator", "_clocks", "_dets", "_offset", "pruned_upto")
+    __slots__ = (
+        "creator",
+        "_clocks",
+        "_dets",
+        "_offset",
+        "pruned_upto",
+        "_contiguous",
+        "max_clock",
+    )
 
     def __init__(self, creator: int):
         self.creator = creator
@@ -68,16 +76,19 @@ class EventSequence:
         self._offset = 0
         #: events at or below this clock were pruned (stable) — gone forever
         self.pruned_upto = 0
+        #: True while the backing clocks are hole-free (the common case:
+        #: receptions arrive in clock order).  Lets :meth:`holds` answer
+        #: with two comparisons instead of a bisect; conservatively False
+        #: is always safe.
+        self._contiguous = True
+        #: highest clock in the backing lists (0 when empty); maintained on
+        #: every mutation because it is read on the per-event hot path
+        self.max_clock = 0
 
     # -- inspection ----------------------------------------------------- #
 
     def __len__(self) -> int:
         return len(self._clocks) - self._offset
-
-    @property
-    def max_clock(self) -> int:
-        """Highest clock ever seen (0 when empty and never filled)."""
-        return self._clocks[-1] if self._clocks else 0
 
     @property
     def min_clock(self) -> Optional[int]:
@@ -92,18 +103,94 @@ class EventSequence:
             return self._dets[i]
         return None
 
+    def holds(self, clock: int) -> bool:
+        """Membership test; O(1) on hole-free sequences."""
+        clocks = self._clocks
+        off = self._offset
+        if off >= len(clocks):
+            return False
+        if self._contiguous:
+            return clocks[off] <= clock <= clocks[-1]
+        return self.get(clock) is not None
+
+    def holds_range(self, first: int, last: int) -> bool:
+        """True when every clock in ``[first, last]`` is held.
+
+        O(1), and only answers True on hole-free sequences — the
+        duplicate-run fast path of the piggyback accept loops.  A False
+        answer is always safe (callers fall back to per-event checks).
+        """
+        clocks = self._clocks
+        off = self._offset
+        if off >= len(clocks) or not self._contiguous:
+            return False
+        return clocks[off] <= first and last <= clocks[-1]
+
+    def new_run_offset(self, first: int, last: int, count: int) -> Optional[int]:
+        """Classify a clock-ascending run ``[first, last]`` of ``count``
+        events against this sequence, in O(1).
+
+        Returns the offset of the first event of the run not yet held:
+        ``0`` (whole run new), ``count`` (whole run already held), or an
+        interior split when a hole-free run overlaps the hole-free held
+        prefix (everything up to :attr:`max_clock` is a duplicate).
+        ``None`` means the run cannot be classified O(1) — holes on one
+        side or the other — and the caller must merge per event.
+
+        This is the single home of the accept-path split arithmetic; the
+        sequence and graph protocols both merge runs through it.
+        """
+        maxc = self.max_clock
+        if first > maxc:
+            return 0
+        if last - first + 1 == count and self.holds_range(first, min(last, maxc)):
+            return count if last <= maxc else maxc - first + 1
+        return None
+
     # -- mutation ------------------------------------------------------- #
 
     def append(self, det: Determinant) -> None:
         """Append a determinant with a clock greater than any held."""
         if det.creator != self.creator:
             raise ValueError(f"creator mismatch: {det.creator} != {self.creator}")
-        if self._clocks and det.clock <= self._clocks[-1]:
-            raise ValueError(
-                f"non-monotonic append: clock {det.clock} <= {self._clocks[-1]}"
-            )
-        self._clocks.append(det.clock)
+        clocks = self._clocks
+        if clocks:
+            last = clocks[-1]
+            if det.clock <= last:
+                raise ValueError(
+                    f"non-monotonic append: clock {det.clock} <= {last}"
+                )
+            if det.clock != last + 1:
+                self._contiguous = False
+        clocks.append(det.clock)
         self._dets.append(det)
+        self.max_clock = det.clock
+
+    def extend_monotonic(self, dets: Sequence[Determinant]) -> int:
+        """Bulk :meth:`append` of a clock-ascending run; returns its length.
+
+        Callers guarantee ``dets`` is strictly clock-ascending with this
+        sequence's creator (piggyback runs are tails of peer sequences, so
+        this holds by construction); the first clock is validated against
+        :attr:`max_clock` as in :meth:`append`.
+        """
+        if not dets:
+            return 0
+        clocks = self._clocks
+        run = [d.clock for d in dets]
+        first = run[0]
+        if clocks:
+            last = clocks[-1]
+            if first <= last:
+                raise ValueError(f"non-monotonic append: clock {first} <= {last}")
+            if first != last + 1:
+                self._contiguous = False
+        if run[-1] - first + 1 != len(run):
+            self._contiguous = False
+        clocks += run
+        self._dets += dets
+        self.max_clock = run[-1]
+        return len(run)
 
     def merge(self, dets: Iterable[Determinant]) -> int:
         """Insert determinants (any order); returns how many were new.
@@ -119,12 +206,18 @@ class EventSequence:
                 raise ValueError("creator mismatch in merge")
             if det.clock <= self.pruned_upto:
                 continue
-            if self._clocks and det.clock <= self._clocks[-1]:
-                if self.get(det.clock) is None:
-                    pending.append(det)
-                continue
-            self._clocks.append(det.clock)
+            clocks = self._clocks
+            if clocks:
+                last = clocks[-1]
+                if det.clock <= last:
+                    if self.get(det.clock) is None:
+                        pending.append(det)
+                    continue
+                if det.clock != last + 1:
+                    self._contiguous = False
+            clocks.append(det.clock)
             self._dets.append(det)
+            self.max_clock = det.clock
             added += 1
         if pending:
             # rare path: filling holes below the current max (out-of-order
@@ -138,12 +231,44 @@ class EventSequence:
             self._clocks = [c for c, _ in items]
             self._dets = [d for _, d in items]
             self._offset = 0
+            self._contiguous = items[-1][0] - items[0][0] + 1 == len(items)
+            self.max_clock = items[-1][0]
         return added
 
     def tail_after(self, bound: int) -> list[Determinant]:
         """All determinants with ``clock > bound``, clock-ordered."""
         i = bisect_right(self._clocks, bound, lo=self._offset)
         return self._dets[i:]
+
+    def extend_tail_into(self, out: list, bound: int) -> int:
+        """Append the ``clock > bound`` tail to ``out``; returns its length.
+
+        The piggyback build loops use this instead of :meth:`tail_after`
+        so that per-creator tails land directly in the outgoing event list
+        without materializing one intermediate list per creator.  When the
+        tail is non-empty its last clock is :attr:`max_clock` (tails always
+        run to the end of the sequence).
+        """
+        clocks = self._clocks
+        total = len(clocks)
+        i = self._offset
+        if i >= total or clocks[-1] <= bound:
+            return 0  # empty tail (bound caught up) — skip the bisect
+        if clocks[i] <= bound:
+            i = bisect_right(clocks, bound, lo=i)
+        n = total - i
+        out += self._dets[i:] if i else self._dets
+        return n
+
+    def clocks_upto(self, bound: int):
+        """Live clocks ``<= bound``, ascending.
+
+        Copies only the matching prefix (the antecedence graph walks this
+        right before pruning it, so the work is proportional to the events
+        dropped, not to the events held).
+        """
+        hi = bisect_right(self._clocks, bound, lo=self._offset)
+        return self._clocks[self._offset : hi]
 
     def prune_upto(self, clock: int) -> int:
         """Drop determinants with ``clock <= clock``; returns count dropped."""
@@ -156,6 +281,10 @@ class EventSequence:
             self._clocks = self._clocks[self._offset :]
             self._dets = self._dets[self._offset :]
             self._offset = 0
+            if not self._clocks:
+                # mirror the historical "highest clock" definition, which
+                # reads 0 once the backing lists are fully compacted away
+                self.max_clock = 0
         return dropped
 
 
@@ -193,6 +322,15 @@ class StableVector:
 
     def as_list(self) -> list[int]:
         return list(self._v)
+
+    def view(self) -> list[int]:
+        """The internal per-creator clock list, **read-only by contract**.
+
+        Hot loops index this directly instead of paying one
+        ``__getitem__`` descriptor call per event; mutations must still go
+        through :meth:`advance`/:meth:`update` to preserve monotonicity.
+        """
+        return self._v
 
     def __len__(self) -> int:
         return len(self._v)

@@ -61,13 +61,11 @@ class LogOnProtocol(VProtocol):
         )
         if start > known[dst]:
             visits = self.graph.raise_knowledge((dst, start), known, self.stable)
-        events, scan = self.graph.select_unknown(known, self.stable)
+        # select_unknown raises known in place over everything selected
+        events, scan, _runs = self.graph.select_unknown(known, self.stable)
         # reorder into a linear extension of the causal order (the defining
         # LogOn step; n log n)
         ordered = self.graph.topological(events)
-        for det in ordered:
-            if det.clock > known[det.creator]:
-                known[det.creator] = det.clock
         n = len(ordered)
         reorder = n * max(1.0, log2(n)) * cfg.cost_logon_reorder_s if n else 0.0
         cost = (
@@ -126,6 +124,9 @@ class LogOnProtocol(VProtocol):
 
     def events_held(self) -> int:
         return len(self.graph)
+
+    def scan_events_held(self) -> int:
+        return self.graph.scan_size()
 
     def export_state(self) -> dict:
         return {

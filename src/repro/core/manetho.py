@@ -21,7 +21,11 @@ from math import log2
 
 from repro.core.antecedence import AntecedenceGraph
 from repro.core.events import Determinant
-from repro.core.piggyback import Piggyback, factored_bytes
+from repro.core.piggyback import (
+    Piggyback,
+    creator_runs,
+    factored_bytes_from_counts,
+)
 from repro.core.protocol_base import VProtocol
 
 
@@ -64,12 +68,10 @@ class ManethoProtocol(VProtocol):
         )
         if start > known[dst]:
             visits += self.graph.raise_knowledge((dst, start), known, self.stable)
-        events, scan = self.graph.select_unknown(known, self.stable)
+        # select_unknown raises known in place: everything piggybacked is
+        # now known by dst
+        events, scan, runs = self.graph.select_unknown(known, self.stable)
         visits += scan
-        # everything piggybacked (and our own clock) is now known by dst
-        for det in events:
-            if det.clock > known[det.creator]:
-                known[det.creator] = det.clock
         n = len(events)
         cost = (
             cfg.cost_piggyback_fixed_s
@@ -82,8 +84,9 @@ class ManethoProtocol(VProtocol):
         self.probes.pb_send_time_s += cost
         return Piggyback(
             events=tuple(events),
-            nbytes=factored_bytes(events, self.config),
+            nbytes=factored_bytes_from_counts(n, len(runs), cfg),
             build_cost_s=cost,
+            runs=tuple(runs),
         )
 
     def on_local_event(self, det: Determinant) -> None:
@@ -93,15 +96,18 @@ class ManethoProtocol(VProtocol):
     def accept_piggyback(self, src: int, pb: Piggyback, dep: int) -> float:
         cfg = self.config
         known = self._known(src)
+        graph = self.graph
+        events = pb.events
+        total = len(events)
         new = 0
-        dup = 0
-        for det in pb.events:
-            if self.graph.add(det):
-                new += 1
-            else:
-                dup += 1
-            if det.clock > known[det.creator]:
-                known[det.creator] = det.clock
+        # the factored wire format groups events into clock-ascending
+        # creator runs; merge run-at-a-time (see AntecedenceGraph.add_run)
+        for creator, i, j in pb.runs or creator_runs(events):
+            new += graph.add_run(events[i:j])
+            last = events[j - 1].clock
+            if last > known[creator]:
+                known[creator] = last
+        dup = total - new
         if dep > known[src]:
             known[src] = dep
         # knowledge closure of (src, dep) is discovered lazily at next send
@@ -132,6 +138,9 @@ class ManethoProtocol(VProtocol):
 
     def events_held(self) -> int:
         return len(self.graph)
+
+    def scan_events_held(self) -> int:
+        return self.graph.scan_size()
 
     def export_state(self) -> dict:
         return {

@@ -21,10 +21,34 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import groupby
+from operator import attrgetter
 from typing import Sequence
 
 from repro.core.events import Determinant
 from repro.runtime.config import ClusterConfig
+
+#: shared grouping key: a creator "run" is a maximal stretch of consecutive
+#: events with the same creator rank (both the byte accounting and the
+#: wire-format grouping are defined over these runs)
+_creator_key = attrgetter("creator")
+
+
+def count_creator_runs(events: Sequence[Determinant]) -> int:
+    """Number of creator runs in ``events`` (shared with :func:`group_by_creator`)."""
+    return sum(1 for _ in groupby(events, key=_creator_key))
+
+
+def creator_runs(
+    events: Sequence[Determinant],
+) -> list[tuple[int, int, int]]:
+    """Creator runs of ``events`` as ``(creator, start, stop)`` index triples."""
+    runs = []
+    i = 0
+    for creator, group in groupby(events, key=_creator_key):
+        n = sum(1 for _ in group)
+        runs.append((creator, i, i + n))
+        i += n
+    return runs
 
 
 @dataclass(frozen=True)
@@ -36,6 +60,12 @@ class Piggyback:
     #: simulated seconds spent building this piggyback (serialization +
     #: graph traversal, charged to the sender before the wire)
     build_cost_s: float = 0.0
+    #: creator-run boundaries of ``events`` as ``(creator, start, stop)``
+    #: index triples — the factored wire format's group table.  Builders
+    #: that assemble events creator-by-creator record it for free, sparing
+    #: the accept path a per-event re-scan; empty means "not precomputed"
+    #: (accept falls back to :func:`creator_runs`).
+    runs: tuple[tuple[int, int, int], ...] = ()
 
     @property
     def n_events(self) -> int:
@@ -44,18 +74,23 @@ class Piggyback:
 
 def factored_bytes(events: Sequence[Determinant], config: ClusterConfig) -> int:
     """Wire size of a factored (Vcausal/Manetho) piggyback."""
-    if not events:
-        return config.pb_length_header_bytes
-    groups = 0
-    last = None
-    for det in events:
-        if det.creator != last:
-            groups += 1
-            last = det.creator
+    return factored_bytes_from_counts(len(events), count_creator_runs(events), config)
+
+
+def factored_bytes_from_counts(
+    n_events: int, n_groups: int, config: ClusterConfig
+) -> int:
+    """:func:`factored_bytes` from pre-counted totals.
+
+    The protocol build loops already visit events one creator group at a
+    time, so they count groups incrementally and skip the O(n) re-scan of
+    the assembled piggyback.  ``n_groups`` must equal
+    ``count_creator_runs(events)`` for the same event list.
+    """
     return (
         config.pb_length_header_bytes
-        + groups * config.pb_group_header_bytes
-        + len(events) * config.pb_event_factored_bytes
+        + n_groups * config.pb_group_header_bytes
+        + n_events * config.pb_event_factored_bytes
     )
 
 
@@ -68,4 +103,4 @@ def group_by_creator(
     events: Sequence[Determinant],
 ) -> list[tuple[int, list[Determinant]]]:
     """Group a creator-sorted event list into (creator, events) runs."""
-    return [(c, list(g)) for c, g in groupby(events, key=lambda d: d.creator)]
+    return [(c, list(g)) for c, g in groupby(events, key=_creator_key)]

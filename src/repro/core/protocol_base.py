@@ -91,8 +91,17 @@ class VProtocol:
         return []
 
     def events_held(self) -> int:
-        """Number of determinants currently held (memory footprint)."""
+        """Number of determinants currently held (memory footprint).
+
+        On the per-message cost path: implementations must be O(1)
+        (incrementally maintained), with :meth:`scan_events_held` as the
+        full recount the tests check it against.
+        """
         return 0
+
+    def scan_events_held(self) -> int:
+        """Recount :meth:`events_held` from the backing structures."""
+        return self.events_held()
 
     def volatile_bytes(self) -> int:
         """Causal-information bytes that join a checkpoint image."""

@@ -256,7 +256,7 @@ class Vdaemon:
         det = self._create_determinant(msg)
         duration = self._recv_base_delay(msg) + pb_cost
         self._proc_busy_until = start + duration
-        self.sim.at(start + duration, self._hand_to_app, msg, det)
+        self.sim.post(start + duration, self._hand_to_app, msg, det)
 
     def _create_determinant(self, msg: WireMessage) -> Optional[Determinant]:
         self.last_ssn[msg.src] = msg.ssn
@@ -648,7 +648,7 @@ class Vdaemon:
             self._post_to_el(det)   # duplicate posts are discarded by the EL
         duration = self._recv_base_delay(msg) + pb_cost
         self._proc_busy_until = start + duration
-        self.sim.at(start + duration, self._hand_to_app, msg, det)
+        self.sim.post(start + duration, self._hand_to_app, msg, det)
 
     def _finish_replay(self) -> None:
         if not self.in_replay and not self._fresh_buffer and not self._replay_buffer:

@@ -7,6 +7,20 @@ every simulation in the repository bit-reproducible, which the test suite
 relies on (e.g. a fault-free run and a faulty run with recovery must produce
 identical application results).
 
+Hot-path notes
+--------------
+
+Every simulated event costs one heap push and one heap pop, so the entry
+representation is the single biggest constant factor of the whole
+repository.  Entries are plain lists ``[time, seq, fn, args]``: list
+comparison is elementwise in C and the unique ``seq`` guarantees the
+comparison never reaches ``fn``, so no rich-comparison dunder or dataclass
+construction is ever paid.  Cancellation sets ``fn`` to ``None`` in place
+(the sentinel the pop loops skip).  :meth:`Simulator.post` is the
+allocation-free variant of :meth:`Simulator.at` for internal callers that
+do not need a cancellation handle, and :meth:`Simulator.schedule_bulk`
+amortizes many pushes into one heapify.
+
 Nothing in this module knows about processes, networks or MPI; those are
 layered on top in :mod:`repro.simulator.process` and
 :mod:`repro.simulator.network`.
@@ -15,10 +29,8 @@ layered on top in :mod:`repro.simulator.process` and
 from __future__ import annotations
 
 import heapq
-import itertools
-import math
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, Iterable, Optional
 
 
 class SimulationError(RuntimeError):
@@ -41,13 +53,8 @@ class DeadlockError(SimulationError):
         super().__init__(msg)
 
 
-@dataclass(order=True)
-class _HeapEntry:
-    time: float
-    seq: int
-    fn: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+# heap entry layout: [time, seq, fn, args]; fn is None once cancelled
+_TIME, _SEQ, _FN, _ARGS = 0, 1, 2, 3
 
 
 class EventHandle:
@@ -55,20 +62,22 @@ class EventHandle:
 
     __slots__ = ("_entry",)
 
-    def __init__(self, entry: _HeapEntry):
+    def __init__(self, entry: list):
         self._entry = entry
 
     @property
     def time(self) -> float:
-        return self._entry.time
+        return self._entry[_TIME]
 
     @property
     def cancelled(self) -> bool:
-        return self._entry.cancelled
+        return self._entry[_FN] is None
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
-        self._entry.cancelled = True
+        entry = self._entry
+        entry[_FN] = None
+        entry[_ARGS] = ()
 
 
 class Simulator:
@@ -82,10 +91,20 @@ class Simulator:
         interleavings.
     """
 
+    __slots__ = (
+        "now",
+        "_heap",
+        "_seq",
+        "_trace",
+        "_events_executed",
+        "_blocked_actors",
+        "_running",
+    )
+
     def __init__(self, trace: Optional[Callable[[float, str], None]] = None):
         self.now: float = 0.0
-        self._heap: list[_HeapEntry] = []
-        self._seq = itertools.count()
+        self._heap: list[list] = []
+        self._seq = 0
         self._trace = trace
         self._events_executed = 0
         # Actors register a "blocked reason" here so that deadlocks can be
@@ -98,9 +117,13 @@ class Simulator:
 
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` ``delay`` seconds from now."""
-        if delay < 0 or math.isnan(delay):
+        if not delay >= 0:  # also catches NaN
             raise SimulationError(f"negative or NaN delay: {delay!r}")
-        return self.at(self.now + delay, fn, *args)
+        # inlined at(): a non-negative delay can never land in the past
+        self._seq = seq = self._seq + 1
+        entry = [self.now + delay, seq, fn, args]
+        heappush(self._heap, entry)
+        return EventHandle(entry)
 
     def at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute simulated ``time``."""
@@ -108,13 +131,54 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past: {time} < now={self.now}"
             )
-        entry = _HeapEntry(time, next(self._seq), fn, args)
-        heapq.heappush(self._heap, entry)
+        self._seq = seq = self._seq + 1
+        entry = [time, seq, fn, args]
+        heappush(self._heap, entry)
         return EventHandle(entry)
+
+    def post(self, time: float, fn: Callable[..., None], *args: Any) -> None:
+        """:meth:`at` without an :class:`EventHandle` (hot path).
+
+        Internal callers that never cancel (network deliveries, daemon
+        hand-offs) use this to skip one object allocation per event.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past: {time} < now={self.now}"
+            )
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, [time, seq, fn, args])
 
     def call_soon(self, fn: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``fn`` at the current instant (after pending same-time events)."""
         return self.at(self.now, fn, *args)
+
+    def schedule_bulk(
+        self, items: Iterable[tuple[float, Callable[..., None], tuple]]
+    ) -> None:
+        """Schedule many ``(delay, fn, args)`` triples in one operation.
+
+        Equivalent to calling :meth:`schedule` per triple (no handles are
+        returned).  When the batch is at least as large as the pending
+        heap, the entries are appended and the heap rebuilt in one O(n)
+        heapify instead of n O(log n) pushes.
+        """
+        heap = self._heap
+        now = self.now
+        seq = self._seq
+        batch = []
+        for delay, fn, args in items:
+            if not delay >= 0:
+                raise SimulationError(f"negative or NaN delay: {delay!r}")
+            seq += 1
+            batch.append([now + delay, seq, fn, args])
+        self._seq = seq
+        if len(batch) >= len(heap):
+            heap.extend(batch)
+            heapq.heapify(heap)
+        else:
+            for entry in batch:
+                heappush(heap, entry)
 
     # ------------------------------------------------------------------ #
     # deadlock bookkeeping
@@ -139,21 +203,24 @@ class Simulator:
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None when the heap is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][_FN] is None:
+            heappop(heap)
+        return heap[0][_TIME] if heap else None
 
     def step(self) -> bool:
         """Execute the next event.  Returns False when the heap is empty."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            if entry.cancelled:
+        heap = self._heap
+        while heap:
+            entry = heappop(heap)
+            fn = entry[_FN]
+            if fn is None:
                 continue
-            self.now = entry.time
+            self.now = entry[_TIME]
             self._events_executed += 1
             if self._trace is not None:
-                self._trace(self.now, getattr(entry.fn, "__qualname__", repr(entry.fn)))
-            entry.fn(*entry.args)
+                self._trace(self.now, getattr(fn, "__qualname__", repr(fn)))
+            fn(*entry[_ARGS])
             return True
         return False
 
@@ -176,24 +243,53 @@ class Simulator:
         check_deadlock:
             When True (default) raise :class:`DeadlockError` if the heap
             drains while actors are still marked blocked.
+
+        The common case (no ``until``, no ``max_events``, no trace) runs a
+        tight pop-and-call loop with one heap touch per event; the general
+        case peeks the deadline before popping.
         """
         self._running = True
-        executed = 0
+        heap = self._heap
+        pop = heappop
         try:
-            while True:
-                t = self.peek_time()
-                if t is None:
-                    if check_deadlock and self._blocked_actors:
-                        raise DeadlockError(
-                            sorted(str(r) for r in self._blocked_actors.values())
+            if until is None and max_events is None and self._trace is None:
+                executed = self._events_executed
+                try:
+                    while heap:
+                        entry = pop(heap)
+                        fn = entry[_FN]
+                        if fn is None:
+                            continue
+                        self.now = entry[_TIME]
+                        executed += 1
+                        fn(*entry[_ARGS])
+                finally:
+                    self._events_executed = executed
+            else:
+                executed = 0
+                while heap:
+                    entry = heap[0]
+                    if entry[_FN] is None:
+                        pop(heap)
+                        continue
+                    t = entry[_TIME]
+                    if until is not None and t > until:
+                        self.now = until
+                        return
+                    pop(heap)
+                    self.now = t
+                    self._events_executed += 1
+                    if self._trace is not None:
+                        self._trace(
+                            t, getattr(entry[_FN], "__qualname__", repr(entry[_FN]))
                         )
-                    return
-                if until is not None and t > until:
-                    self.now = until
-                    return
-                self.step()
-                executed += 1
-                if max_events is not None and executed > max_events:
-                    raise SimulationError(f"exceeded max_events={max_events}")
+                    entry[_FN](*entry[_ARGS])
+                    executed += 1
+                    if max_events is not None and executed > max_events:
+                        raise SimulationError(f"exceeded max_events={max_events}")
+            if check_deadlock and self._blocked_actors:
+                raise DeadlockError(
+                    sorted(str(r) for r in self._blocked_actors.values())
+                )
         finally:
             self._running = False

@@ -185,7 +185,7 @@ class Network:
 
         if src == dst:
             at = self.sim.now + extra_latency
-            self.sim.at(at, deliver)
+            self.sim.post(at, deliver)
             return at
 
         wire_bytes = nbytes + self.per_message_overhead_bytes
@@ -193,7 +193,7 @@ class Network:
         tx_start, _tx_end = src_nic.reserve_tx(duration)
         earliest_rx = tx_start + self.latency_s + extra_latency
         _rx_start, rx_end = dst_nic.reserve_rx(earliest_rx, duration)
-        self.sim.at(rx_end, deliver)
+        self.sim.post(rx_end, deliver)
         return rx_end
 
     def transfer_chunked(

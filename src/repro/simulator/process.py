@@ -158,8 +158,8 @@ class SimProcess:
         self.sim.mark_unblocked(self)
         # resume at the current instant through the heap so that all
         # same-time resolutions execute in deterministic order
-        inc = self.incarnation
-        self.sim.call_soon(self._resume_if_current, inc, value)
+        sim = self.sim
+        sim.post(sim.now, self._resume_if_current, self.incarnation, value)
 
     def _resume_if_current(self, inc: int, value: Any) -> None:
         if inc != self.incarnation or not self.alive:
@@ -186,8 +186,10 @@ class SimProcess:
             if yielded.resolved:
                 # fast path: already resolved; resume via heap to keep
                 # deterministic ordering with other same-time events.
-                inc = self.incarnation
-                self.sim.call_soon(self._resume_if_current, inc, yielded.value)
+                sim = self.sim
+                sim.post(
+                    sim.now, self._resume_if_current, self.incarnation, yielded.value
+                )
                 return
             yielded._attach(self)
             self._waiting_on = yielded
@@ -195,8 +197,10 @@ class SimProcess:
             return
         if isinstance(yielded, (int, float)):
             delay = float(yielded)
-            inc = self.incarnation
-            self.sim.schedule(delay, self._resume_if_current, inc, None)
+            if not delay >= 0:  # also catches NaN (post alone would miss it)
+                raise SimulationError(f"negative or NaN delay: {delay!r}")
+            sim = self.sim
+            sim.post(sim.now + delay, self._resume_if_current, self.incarnation, None)
             return
         raise SimulationError(
             f"process {self.name} yielded unsupported value {yielded!r}"

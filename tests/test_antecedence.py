@@ -71,8 +71,13 @@ def test_raise_knowledge_counts_visits():
 def test_select_unknown_respects_bounds():
     g = build_chain_world()
     stable = StableVector(3)
-    events, _ = g.select_unknown([1, 0, 0], stable)
+    known = [1, 0, 0]
+    events, _, runs = g.select_unknown(known, stable)
     assert {(d.creator, d.clock) for d in events} == {(0, 2), (1, 1), (2, 1)}
+    # one (creator, start, stop) run per contributing creator
+    assert runs == [(0, 0, 1), (1, 1, 2), (2, 2, 3)]
+    # known was raised in place over everything selected
+    assert known == [2, 1, 1]
 
 
 def test_select_unknown_respects_stable():
@@ -80,7 +85,7 @@ def test_select_unknown_respects_stable():
     stable = StableVector(3)
     stable.advance(0, 2)
     stable.advance(1, 1)
-    events, _ = g.select_unknown([0, 0, 0], stable)
+    events, _, _ = g.select_unknown([0, 0, 0], stable)
     assert {(d.creator, d.clock) for d in events} == {(2, 1)}
 
 
@@ -104,7 +109,7 @@ def test_prune_makes_knowledge_conservative_not_wrong():
     g.raise_knowledge((0, 2), known, stable)
     # the traversal can no longer reach a (pruned), but a is stable so it
     # is excluded from piggybacks anyway
-    events, _ = g.select_unknown(known, stable)
+    events, _, _ = g.select_unknown(known, stable)
     assert (0, 1) not in {(d.creator, d.clock) for d in events}
 
 

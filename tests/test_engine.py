@@ -151,6 +151,86 @@ def test_trace_hook_invoked():
     assert traced == [1.0, 2.0]
 
 
+def test_post_schedules_without_handle():
+    sim = Simulator()
+    order = []
+    sim.post(2.0, order.append, "b")
+    sim.post(1.0, order.append, "a")
+    assert sim.post(1.5, order.append, "m") is None
+    sim.run()
+    assert order == ["a", "m", "b"]
+    assert sim.events_executed == 3
+
+
+def test_post_into_the_past_raises():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.post(1.0, lambda: None)
+
+
+def test_schedule_bulk_matches_sequential_semantics():
+    order_bulk, order_seq = [], []
+
+    sim = Simulator()
+    sim.schedule_bulk(
+        [(3.0, order_bulk.append, ("c",)), (1.0, order_bulk.append, ("a",)),
+         (1.0, order_bulk.append, ("b",))]
+    )
+    sim.run()
+
+    sim2 = Simulator()
+    for delay, label in ((3.0, "c"), (1.0, "a"), (1.0, "b")):
+        sim2.schedule(delay, order_seq.append, label)
+    sim2.run()
+
+    assert order_bulk == order_seq == ["a", "b", "c"]
+    assert sim.events_executed == sim2.events_executed == 3
+
+
+def test_schedule_bulk_interleaves_with_existing_heap():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, order.append, "x")        # small heap, bulk >= heap
+    sim.schedule_bulk([(1.0, order.append, ("a",)), (3.0, order.append, ("b",))])
+    sim.run()
+    assert order == ["a", "x", "b"]
+
+
+def test_schedule_bulk_smaller_than_heap_uses_pushes():
+    sim = Simulator()
+    order = []
+    for k in range(5):
+        sim.schedule(float(k + 10), order.append, f"h{k}")
+    sim.schedule_bulk([(1.0, order.append, ("bulk",))])
+    sim.run()
+    assert order[0] == "bulk"
+    assert len(order) == 6
+
+
+def test_schedule_bulk_rejects_negative_and_nan():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_bulk([(-1.0, lambda: None, ())])
+    with pytest.raises(SimulationError):
+        sim.schedule_bulk([(math.nan, lambda: None, ())])
+
+
+def test_run_fast_path_counts_events_when_callback_raises():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+
+    def boom():
+        raise RuntimeError("boom")
+
+    sim.schedule(2.0, boom)
+    with pytest.raises(RuntimeError):
+        sim.run()
+    # both the successful and the raising event were counted
+    assert sim.events_executed == 2
+
+
 def test_nested_scheduling_from_callbacks():
     sim = Simulator()
     order = []

@@ -115,6 +115,116 @@ def test_merge_fills_holes():
     assert [d.clock for d in seq] == [1, 2, 3]
 
 
+# --------------------------------------------------------------------- #
+# merge rebuild path (out-of-order hole filling) and its interaction
+# with prune_upto / pruned_upto
+
+def test_merge_out_of_order_rebuild_keeps_membership_queries_correct():
+    seq = EventSequence(0)
+    seq.merge([det(clock=2), det(clock=5), det(clock=9)])
+    # holes at 1, 3-4, 6-8
+    assert not seq.holds(3)
+    assert seq.merge([det(clock=4), det(clock=1), det(clock=3)]) == 3
+    assert [d.clock for d in seq] == [1, 2, 3, 4, 5, 9]
+    for k in (1, 2, 3, 4, 5, 9):
+        assert seq.holds(k)
+        assert seq.get(k).clock == k
+    for k in (6, 7, 8, 10):
+        assert not seq.holds(k)
+        assert seq.get(k) is None
+    assert seq.max_clock == 9
+    # filling the last hole restores the O(1) contiguous fast path
+    seq.merge([det(clock=k) for k in (6, 7, 8)])
+    assert seq.holds_range(1, 9)
+
+
+def test_merge_never_resurrects_pruned_events():
+    seq = EventSequence(0)
+    for k in range(1, 11):
+        seq.append(det(clock=k))
+    seq.prune_upto(6)
+    # a late duplicate below the stable bound must stay gone...
+    assert seq.merge([det(clock=3)]) == 0
+    assert seq.get(3) is None
+    assert len(seq) == 4
+    # ...even when merged together with a genuine hole-filler above it
+    seq2 = EventSequence(0)
+    seq2.merge([det(clock=1), det(clock=2), det(clock=5)])
+    seq2.prune_upto(2)
+    assert seq2.merge([det(clock=1), det(clock=4), det(clock=3)]) == 2
+    assert [d.clock for d in seq2] == [3, 4, 5]
+    assert seq2.pruned_upto == 2
+
+
+def test_merge_rebuild_then_prune_then_tail_after():
+    seq = EventSequence(0)
+    seq.merge([det(clock=k) for k in range(1, 30, 2)])   # odds
+    seq.merge([det(clock=k) for k in range(2, 30, 2)])   # evens (rebuild)
+    seq.prune_upto(11)
+    assert [d.clock for d in seq.tail_after(20)] == list(range(21, 30))
+    assert [d.clock for d in seq.tail_after(0)] == list(range(12, 30))
+    assert seq.min_clock == 12
+    assert len(seq) == 18
+
+
+def test_prune_after_rebuild_keeps_pruned_upto_monotone():
+    seq = EventSequence(0)
+    seq.merge([det(clock=5)])
+    seq.prune_upto(3)
+    assert seq.pruned_upto == 3
+    seq.merge([det(clock=4)])            # hole-fill above pruned bound
+    assert [d.clock for d in seq] == [4, 5]
+    seq.prune_upto(2)                    # lower bound: no-op
+    assert seq.pruned_upto == 3
+    assert len(seq) == 2
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    batches=st.lists(
+        st.lists(st.integers(min_value=1, max_value=40), min_size=1, max_size=8),
+        min_size=1,
+        max_size=12,
+    ),
+    prunes=st.lists(st.integers(min_value=0, max_value=45), max_size=6),
+)
+def test_merge_batches_match_reference_model(batches, prunes):
+    """Random out-of-order batches interleaved with prunes behave like a
+    sorted dict, and every membership query agrees with the model."""
+    from itertools import zip_longest
+
+    seq = EventSequence(0)
+    model: dict[int, Determinant] = {}
+    pruned = 0
+    # deterministic interleave: alternate batch, prune, batch, ...
+    merged_ops: list = []
+    for b, p in zip_longest(batches, prunes):
+        if b is not None:
+            merged_ops.append(("merge", b))
+        if p is not None:
+            merged_ops.append(("prune", p))
+    for op, arg in merged_ops:
+        if op == "merge":
+            dets = [det(clock=c) for c in arg]
+            added = seq.merge(dets)
+            before = len(model)
+            for c in arg:
+                if c > pruned:
+                    model.setdefault(c, det(clock=c))
+            assert added == len(model) - before
+        else:
+            seq.prune_upto(arg)
+            pruned = max(pruned, arg)
+            for c in [c for c in model if c <= pruned]:
+                del model[c]
+        assert sorted(d.clock for d in seq) == sorted(model)
+        assert len(seq) == len(model)
+        for probe in range(1, 46):
+            assert seq.holds(probe) == (probe in model)
+            got = seq.get(probe)
+            assert (got.clock if got else None) == (probe if probe in model else None)
+
+
 @settings(max_examples=200, deadline=None)
 @given(
     ops=st.lists(

@@ -6,7 +6,10 @@ from hypothesis import strategies as st
 from repro.core.events import Determinant
 from repro.core.piggyback import (
     Piggyback,
+    count_creator_runs,
+    creator_runs,
     factored_bytes,
+    factored_bytes_from_counts,
     flat_bytes,
     group_by_creator,
 )
@@ -66,6 +69,29 @@ def test_piggyback_dataclass_defaults():
     assert pb.n_events == 0
     assert pb.nbytes == 0
     assert pb.build_cost_s == 0.0
+    assert pb.runs == ()
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 4), st.integers(1, 50)), max_size=40, unique=True
+    )
+)
+def test_run_counting_shared_across_helpers(pairs):
+    """count_creator_runs, creator_runs and group_by_creator must agree —
+    one run definition, three views of it."""
+    events = [det(c, k) for c, k in pairs]
+    runs = creator_runs(events)
+    groups = group_by_creator(events)
+    assert len(runs) == count_creator_runs(events) == len(groups)
+    assert [c for c, _, _ in runs] == [c for c, _ in groups]
+    for (creator, start, stop), (gc, group) in zip(runs, groups):
+        assert list(events[start:stop]) == group
+    # and the byte accounting is definable from either view
+    assert factored_bytes(events, CFG) == factored_bytes_from_counts(
+        len(events), len(runs), CFG
+    )
 
 
 @settings(max_examples=100, deadline=None)

@@ -192,6 +192,56 @@ def test_logon_piggyback_respects_partial_order(data):
 
 
 @pytest.mark.parametrize("cls", PROTOCOLS)
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_held_counter_matches_scan(cls, data):
+    """events_held() is maintained incrementally; it must equal the full
+    O(#creators) recount after every hook invocation."""
+    n = data.draw(st.integers(2, 4), label="nprocs")
+    world = MiniWorld(cls, n)
+    steps = data.draw(st.integers(1, 40), label="steps")
+    for _ in range(steps):
+        kind = data.draw(st.sampled_from(["send", "send", "send", "ack"]))
+        if kind == "send":
+            src = data.draw(st.integers(0, n - 1))
+            dst = data.draw(st.integers(0, n - 1).filter(lambda r: r != src))
+            world.send(src, dst)
+        else:
+            advance = {
+                c: data.draw(st.integers(0, max(world.clocks[c], 0)))
+                for c in range(n)
+            }
+            recips = data.draw(
+                st.lists(st.integers(0, n - 1), unique=True, max_size=n)
+            )
+            world.ack(advance, recips)
+        for r in range(n):
+            proto = world.protocols[r]
+            assert proto.events_held() == proto.scan_events_held()
+
+
+@pytest.mark.parametrize("cls", [VcausalProtocol, ManethoProtocol])
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_piggyback_run_table_consistent(cls, data):
+    """The precomputed (creator, start, stop) run table on factored
+    piggybacks must agree with a re-scan of the event list, and the byte
+    accounting with the shared run counting."""
+    from repro.core.piggyback import count_creator_runs, creator_runs, factored_bytes
+
+    n = data.draw(st.integers(2, 4), label="nprocs")
+    world = MiniWorld(cls, n)
+    steps = data.draw(st.integers(1, 30), label="steps")
+    for _ in range(steps):
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1).filter(lambda r: r != src))
+        pb = world.send(src, dst)
+        assert list(pb.runs) == creator_runs(pb.events)
+        assert len(pb.runs) == count_creator_runs(pb.events)
+        assert pb.nbytes == factored_bytes(pb.events, CFG)
+
+
+@pytest.mark.parametrize("cls", PROTOCOLS)
 def test_graph_methods_infer_third_party_knowledge_fig3(cls):
     """Paper Fig. 3: P3 has never exchanged with P2, yet the graph
     protocols can compute which events P2 already knows (its own) and
