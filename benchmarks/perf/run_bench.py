@@ -16,10 +16,12 @@ Usage::
 
 The ``--record-baseline`` mode writes ``benchmarks/perf/baseline_seed.json``
 (the reference this repo's speedups are measured against); the default mode
-reads it and writes ``BENCH_1.json`` at the repo root with per-scenario
-speedups.  ``--quick`` shrinks every scenario so the whole driver finishes
-in seconds; it never overwrites the baseline and skips the BENCH file
-unless ``--output`` is given explicitly.
+reads it and writes the next unused ``BENCH_<n>.json`` at the repo root
+with per-scenario speedups (the index is derived from the BENCH files
+already present, so each PR's run lands in a fresh file).  ``--quick``
+shrinks every scenario so the whole driver finishes in seconds; it never
+overwrites the baseline and skips the BENCH file unless ``--output`` is
+given explicitly.
 """
 
 from __future__ import annotations
@@ -28,13 +30,40 @@ import argparse
 import datetime
 import json
 import platform
+import re
+import subprocess
 import sys
 import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 BASELINE_PATH = Path(__file__).resolve().parent / "baseline_seed.json"
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_1.json"
+
+_BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def next_output_path(root: Path = REPO_ROOT) -> Path:
+    """First unused ``BENCH_<n>.json`` path (n = highest existing + 1)."""
+    taken = [
+        int(m.group(1))
+        for p in root.glob("BENCH_*.json")
+        if (m := _BENCH_RE.match(p.name))
+    ]
+    return root / f"BENCH_{max(taken, default=0) + 1}.json"
+
+
+def git_commit() -> str | None:
+    """Current commit hash, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.strip() if out.returncode == 0 else None
 
 
 # --------------------------------------------------------------------- #
@@ -111,6 +140,60 @@ def nas(bench: str, nprocs: int, stack: str, iterations: int):
     }
 
 
+def nas_sparse(bench: str, nprocs: int, stack: str, iterations: int, inner=None):
+    """Scale scenario: sparse bound vectors + per-entry cost model.
+
+    The 256-rank regime the dense ``× nprocs`` formulas could not credibly
+    reach; ``inner`` truncates CG's inner loop in quick mode.
+    """
+    from repro.experiments.common import run_nas
+    from repro.runtime.config import ClusterConfig
+
+    cfg = ClusterConfig().with_overrides(pb_cost_model="sparse")
+    result, _info = run_nas(
+        bench, "A", nprocs, stack, iterations=iterations, config=cfg,
+        app_kwargs={"inner": inner} if inner is not None else None,
+    )
+    probes = result.probes
+    return result.events_executed, {
+        "events": result.events_executed,
+        "sim_time": round(result.sim_time, 9),
+        "pb_events": probes.total("piggyback_events_sent"),
+        "pb_bytes": probes.total("piggyback_bytes_sent"),
+        "messages": probes.total("app_messages_sent"),
+    }
+
+
+def nas_fault(bench: str, nprocs: int, stack: str, iterations: int, kill_s: float):
+    """Fig. 10 regime: kill rank 0 mid-run, recover from the EL, replay."""
+    from repro.experiments.common import run_nas
+    from repro.runtime.failure import OneShotFaults
+
+    result, _info = run_nas(
+        bench, "A", nprocs, stack, iterations=iterations,
+        fault_plan=OneShotFaults([(kill_s, 0)]),
+    )
+    probes = result.probes
+    recoveries = probes.recoveries
+    return result.events_executed, {
+        "events": result.events_executed,
+        "sim_time": round(result.sim_time, 9),
+        "pb_events": probes.total("piggyback_events_sent"),
+        "recoveries": len(recoveries),
+        "events_collected": sum(r.events_collected for r in recoveries),
+        "replayed": probes.total("replayed_receptions"),
+        "result_fold": result_fold(result.results),
+    }
+
+
+def result_fold(results: dict) -> int:
+    """Deterministic checksum of the per-rank application results."""
+    fold = 0
+    for rank, value in sorted(results.items()):
+        fold = (fold * 33 + rank * 7919 + int(value)) % 1_000_003
+    return fold
+
+
 def scenarios(quick: bool) -> dict:
     """Scenario name -> zero-arg callable.  Fixed sizes, fixed seeds."""
     if quick:
@@ -119,6 +202,10 @@ def scenarios(quick: bool) -> dict:
             "engine_fanout": lambda: engine_fanout(10_000),
             "pingpong_vcausal_noel": lambda: pingpong("vcausal-noel", 100),
             "nas_cg8_vcausal_noel": lambda: nas("cg", 8, "vcausal-noel", 2),
+            "nas_cg256_vcausal_sparse": lambda: nas_sparse(
+                "cg", 256, "vcausal", 1, inner=3
+            ),
+            "nas_cg8_vcausal_fault": lambda: nas_fault("cg", 8, "vcausal", 2, 0.25),
         }
     return {
         "engine_chain": lambda: engine_chain(8, 25_000),
@@ -126,6 +213,8 @@ def scenarios(quick: bool) -> dict:
         "pingpong_vcausal_noel": lambda: pingpong("vcausal-noel", 2_000),
         "nas_cg16_vcausal_noel": lambda: nas("cg", 16, "vcausal-noel", 10),
         "nas_lu16_manetho_noel": lambda: nas("lu", 16, "manetho-noel", 6),
+        "nas_cg256_vcausal_sparse": lambda: nas_sparse("cg", 256, "vcausal", 1),
+        "nas_cg8_vcausal_fault": lambda: nas_fault("cg", 8, "vcausal", 6, 0.75),
     }
 
 
@@ -187,6 +276,7 @@ def report_doc(results: dict, repeats: int, quick: bool, baseline_meta: dict | N
     return {
         "schema": "repro-bench-v1",
         "generated": datetime.datetime.now().isoformat(timespec="seconds"),
+        "git_commit": git_commit(),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "repeats": repeats,
@@ -210,7 +300,8 @@ def main(argv=None) -> int:
         "--output",
         type=Path,
         default=None,
-        help=f"BENCH json path (default {DEFAULT_OUTPUT}; quick mode writes none)",
+        help="BENCH json path (default: next unused BENCH_<n>.json at the "
+        "repo root; quick mode writes none)",
     )
     args = ap.parse_args(argv)
     repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
@@ -244,7 +335,7 @@ def main(argv=None) -> int:
 
     output = args.output
     if output is None and not args.quick:
-        output = DEFAULT_OUTPUT
+        output = next_output_path()
     if output is not None:
         doc = report_doc(results, repeats, args.quick, baseline_meta)
         output.write_text(json.dumps(doc, indent=2) + "\n")

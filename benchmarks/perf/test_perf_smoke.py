@@ -22,6 +22,26 @@ def test_quick_mode_runs_in_seconds_and_is_deterministic():
         # reaching this point already proves determinism; sanity-check the
         # recorded checksum shape anyway
         assert r["checksum"]["events"] == r["sim_events"]
+    # the sparse 256-rank and fault-injection paths must be part of the
+    # tier-1 smoke so they cannot rot between full --run-bench runs
+    assert "nas_cg256_vcausal_sparse" in results
+    fault = results["nas_cg8_vcausal_fault"]["checksum"]
+    assert fault["recoveries"] == 1
+    assert fault["replayed"] > 0
+
+
+def test_next_output_path_derives_index(tmp_path):
+    assert run_bench.next_output_path(tmp_path).name == "BENCH_1.json"
+    (tmp_path / "BENCH_1.json").write_text("{}")
+    (tmp_path / "BENCH_7.json").write_text("{}")
+    (tmp_path / "BENCH_x.json").write_text("{}")  # non-numeric: ignored
+    assert run_bench.next_output_path(tmp_path).name == "BENCH_8.json"
+
+
+def test_report_doc_records_git_commit():
+    doc = run_bench.report_doc({}, repeats=1, quick=True, baseline_meta=None)
+    commit = doc["git_commit"]
+    assert commit is None or (len(commit) == 40 and set(commit) <= set("0123456789abcdef"))
 
 
 def test_quick_cli_writes_report(tmp_path):

@@ -26,6 +26,7 @@ never wrong, because stable events are excluded from piggybacks anyway).
 
 from __future__ import annotations
 
+from repro.core.bounds import BoundVector
 from repro.core.events import Determinant, EventSequence, StableVector
 
 
@@ -73,6 +74,8 @@ class AntecedenceGraph:
         if seq is None:
             seq = self.seqs[creator] = EventSequence(creator)
         clock = det.clock
+        if clock <= seq.pruned_upto:
+            return False  # stable (possibly compacted away): never re-admit
         if clock > seq.max_clock:
             seq.append(det)
         elif seq.holds(clock):
@@ -141,7 +144,7 @@ class AntecedenceGraph:
     def raise_knowledge(
         self,
         start: tuple[int, int],
-        known: list[int],
+        known: BoundVector,
         stable: StableVector,
     ) -> int:
         """Raise per-creator ``known`` bounds to cover the causal past of
@@ -151,14 +154,16 @@ class AntecedenceGraph:
         follows cross edges.  Segments below the stable clock are pruned
         from the graph, making the traversal stop there (conservative).
         """
+        kdata = known.data
+        kget = kdata.get
         visits = 0
         stack = [start]
         while stack:
             creator, clock = stack.pop()
-            bound = known[creator]
+            bound = kget(creator, 0)
             if clock <= bound:
                 continue
-            known[creator] = clock
+            kdata[creator] = clock
             seq = self.seqs.get(creator)
             if seq is None:
                 continue
@@ -167,13 +172,13 @@ class AntecedenceGraph:
                 if det.clock > clock:
                     continue
                 visits += 1
-                if det.dep > 0 and det.dep > known[det.sender]:
+                if det.dep > 0 and det.dep > kget(det.sender, 0):
                     stack.append((det.sender, det.dep))
         return visits
 
     def select_unknown(
         self,
-        known: list[int],
+        known: BoundVector,
         stable: StableVector,
     ) -> tuple[list[Determinant], int, list[tuple[int, int, int]]]:
         """Events not covered by ``known`` or the stable vector.
@@ -187,9 +192,11 @@ class AntecedenceGraph:
         events: list[Determinant] = []
         visits = 0
         runs: list[tuple[int, int, int]] = []
+        kdata = known.data
+        kget = kdata.get
         sv = stable.view()
         for creator, seq in self.seqs.items():
-            lo = known[creator]
+            lo = kget(creator, 0)
             s = sv[creator]
             if s > lo:
                 lo = s
@@ -200,7 +207,7 @@ class AntecedenceGraph:
             if n:
                 visits += n
                 runs.append((creator, start, start + n))
-                known[creator] = seq.max_clock
+                kdata[creator] = seq.max_clock
         return events, visits, runs
 
     def topological(self, events: list[Determinant]) -> list[Determinant]:
@@ -218,15 +225,18 @@ class AntecedenceGraph:
 
     def export_state(self) -> dict:
         return {
-            "seqs": {c: list(s) for c, s in self.seqs.items()},
+            "seqs": {c: s.export_state() for c, s in self.seqs.items()},
             "lamport": dict(self.lamport),
         }
 
     def restore_state(self, state: dict) -> None:
-        self.seqs = {}
-        for creator, dets in state["seqs"].items():
-            seq = self._seq(creator)
-            for det in dets:
-                seq.append(det)
+        # EventSequence.from_state restores each sequence's pruned_upto, so
+        # a restored graph keeps refusing stale duplicates of events the EL
+        # already made stable (add()/merge() would otherwise resurrect them
+        # and silently re-grow the graph)
+        self.seqs = {
+            creator: EventSequence.from_state(creator, s)
+            for creator, s in state["seqs"].items()
+        }
         self._size = self.scan_size()
         self.lamport = dict(state["lamport"])

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.core.bounds import BoundVector
 from repro.core.event_logger import EventLogger
 from repro.core.events import Determinant
 from repro.metrics.probes import ClusterProbes
@@ -56,19 +57,15 @@ class EventLoggerShard(EventLogger):
         self.index = index
         self.host = shard_host(index)
         #: freshest clocks known for creators owned by *other* shards
-        self.global_view: list[int] = [0] * nprocs
+        self.global_view = BoundVector()
 
-    def merged_view(self) -> list[int]:
+    def merged_view(self) -> BoundVector:
         """Authoritative local clocks merged with the peer view."""
-        return [
-            max(self.stable_clock[c], self.global_view[c])
-            for c in range(self.nprocs)
-        ]
+        return self.stable_clock.max_with(self.global_view)
 
-    def absorb_peer_vector(self, vector: list[int]) -> None:
-        for c, k in enumerate(vector):
-            if k > self.global_view[c]:
-                self.global_view[c] = k
+    def absorb_peer_vector(self, vector) -> None:
+        """Merge a peer shard's vector (sparse or dense form)."""
+        self.global_view.update_max(vector)
 
     # override: acks carry the merged global view, and leave from our host
     def _serve_log(self, src_rank, dets, ack_to, ack_host):
@@ -77,7 +74,7 @@ class EventLoggerShard(EventLogger):
             self._store(det)
         self.probes.el_determinants_stored += len(dets)
         vector = self.merged_view()
-        ack_bytes = self.config.el_ack_wire_bytes + 4 * self.nprocs
+        ack_bytes = self.config.el_ack_wire_bytes + self.ack_vector_bytes(vector)
         self.network.transfer(
             self.host,
             ack_host,
@@ -167,9 +164,9 @@ class EventLoggerGroup:
         if not self.active_check():
             return
         self.sync_rounds += 1
-        vec_bytes = self.config.el_ack_wire_bytes + 4 * self.nprocs
         for shard in self.shards:
             local = shard.merged_view()
+            vec_bytes = self.config.el_ack_wire_bytes + shard.ack_vector_bytes(local)
             # multicast the local array of logical clocks to the other ELs
             for peer in self.shards:
                 if peer is shard:
@@ -179,7 +176,7 @@ class EventLoggerGroup:
                     shard.host,
                     peer.host,
                     vec_bytes,
-                    lambda p=peer, v=list(local): p.absorb_peer_vector(v),
+                    lambda p=peer, v=local.copy(): p.absorb_peer_vector(v),
                 )
             if self.sync_strategy == "broadcast":
                 # and broadcast it to every compute node directly
@@ -189,7 +186,7 @@ class EventLoggerGroup:
                         shard.host,
                         host,
                         vec_bytes,
-                        lambda s=sink, v=list(local): s(v),
+                        lambda s=sink, v=local.copy(): s(v),
                     )
         self.sim.schedule(self.sync_interval_s, self._sync_tick)
 
@@ -200,9 +197,7 @@ class EventLoggerGroup:
         return sum(s.stored_count() for s in self.shards)
 
     def merged_stable(self) -> list[int]:
-        out = [0] * self.nprocs
+        out = BoundVector()
         for shard in self.shards:
-            for c, k in enumerate(shard.merged_view()):
-                if k > out[c]:
-                    out[c] = k
-        return out
+            out.update_max(shard.merged_view())
+        return out.as_list(self.nprocs)

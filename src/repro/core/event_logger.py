@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.core.bounds import BoundVector
 from repro.core.events import Determinant
 from repro.metrics.probes import ClusterProbes
 from repro.runtime.config import ClusterConfig
@@ -50,10 +51,23 @@ class EventLogger:
         self.nprocs = nprocs
         #: creator -> clock-ordered stored determinants
         self.store: dict[int, list[Determinant]] = {r: [] for r in range(nprocs)}
-        #: creator -> highest contiguous stored clock
-        self.stable_clock: list[int] = [0] * nprocs
+        #: creator -> highest contiguous stored clock (sparse: only creators
+        #: that have logged something carry an entry)
+        self.stable_clock = BoundVector()
         self._busy_until = 0.0
         self._queued = 0
+
+    def ack_vector_bytes(self, vector: BoundVector) -> int:
+        """Wire size of a stable-vector payload (without the fixed header).
+
+        Dense compatibility mode ships one 4-byte clock per rank; sparse
+        mode ships (rank, clock) pairs for the nonzero entries only — the
+        piece of the EL ack that otherwise grows with cluster size.
+        """
+        cfg = self.config
+        if cfg.pb_cost_model == "dense":
+            return 4 * self.nprocs
+        return cfg.el_ack_entry_bytes * len(vector)
 
     # ------------------------------------------------------------------ #
     # logging path (called at network delivery of a log message)
@@ -92,8 +106,8 @@ class EventLogger:
             self._store(det)
         self.probes.el_determinants_stored += len(dets)
         # ack with the full stable vector, after a small batching delay
-        vector = list(self.stable_clock)
-        ack_bytes = self.config.el_ack_wire_bytes + 4 * self.nprocs
+        vector = self.stable_clock.copy()
+        ack_bytes = self.config.el_ack_wire_bytes + self.ack_vector_bytes(vector)
         self.network.transfer(
             EL_HOST,
             ack_host,
@@ -107,11 +121,11 @@ class EventLogger:
         if lst and det.clock <= lst[-1].clock:
             return  # duplicate from a replayed re-execution
         lst.append(det)
-        if det.clock == self.stable_clock[det.creator] + 1:
+        stable = self.stable_clock.data
+        if det.clock == stable.get(det.creator, 0) + 1:
             # advance over any contiguous run already buffered
-            clock = det.clock
-            self.stable_clock[det.creator] = clock
-        elif det.clock > self.stable_clock[det.creator] + 1:
+            stable[det.creator] = det.clock
+        elif det.clock > stable.get(det.creator, 0) + 1:
             # hole (lost in-flight log before a crash): keep, but stability
             # stays at the contiguous prefix
             pass

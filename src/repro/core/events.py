@@ -137,14 +137,32 @@ class EventSequence:
         ``None`` means the run cannot be classified O(1) — holes on one
         side or the other — and the caller must merge per event.
 
+        Events at or below :attr:`pruned_upto` count as already held:
+        they are stable and must never be re-admitted, even when the
+        backing lists were compacted away (``max_clock == 0``) or the
+        sequence was just restored from a checkpoint image.
+
         This is the single home of the accept-path split arithmetic; the
         sequence and graph protocols both merge runs through it.
         """
+        base = 0
+        floor = self.pruned_upto
+        if first <= floor:
+            if last <= floor:
+                return count  # entire run already stable
+            if last - first + 1 != count:
+                return None  # holes in the run: per-event fallback
+            # hole-free run straddling the prune floor: the prefix at or
+            # below the floor is a duplicate, classify the remainder
+            base = floor - first + 1
+            first = floor + 1
         maxc = self.max_clock
         if first > maxc:
-            return 0
-        if last - first + 1 == count and self.holds_range(first, min(last, maxc)):
-            return count if last <= maxc else maxc - first + 1
+            return base
+        if last - first + 1 == count - base and self.holds_range(
+            first, min(last, maxc)
+        ):
+            return count if last <= maxc else base + (maxc - first + 1)
         return None
 
     # -- mutation ------------------------------------------------------- #
@@ -287,6 +305,32 @@ class EventSequence:
                 self.max_clock = 0
         return dropped
 
+    # -- checkpoint round-trip ------------------------------------------ #
+
+    def export_state(self) -> dict:
+        """Checkpointable state: the live determinants plus the prune floor.
+
+        ``pruned_upto`` must survive the round-trip: :meth:`merge` relies on
+        it to refuse resurrecting stable determinants, so a restore that
+        only replays the live determinants silently re-admits duplicates of
+        pruned events on the next accept.
+        """
+        return {"dets": list(self), "pruned_upto": self.pruned_upto}
+
+    @classmethod
+    def from_state(cls, creator: int, state) -> "EventSequence":
+        """Rebuild from :meth:`export_state` output (bare determinant lists
+        from pre-``pruned_upto`` checkpoint images are accepted too)."""
+        seq = cls(creator)
+        if isinstance(state, dict):
+            seq.pruned_upto = state["pruned_upto"]
+            dets = state["dets"]
+        else:
+            dets = state
+        for det in dets:
+            seq.append(det)
+        return seq
+
 
 class StableVector:
     """Per-creator stable clocks acknowledged by the Event Logger.
@@ -311,12 +355,18 @@ class StableVector:
             return True
         return False
 
-    def update(self, vector: Iterable[int]) -> bool:
-        """Merge a full stable vector (from an EL ack); True if any moved."""
+    def update(self, vector) -> bool:
+        """Merge a stable vector (from an EL ack); True if any moved.
+
+        Accepts the dense list form or any sparse mapping of nonzero
+        entries (``BoundVector``/dict) — EL acks ship the sparse form.
+        """
+        v = self._v
         moved = False
-        for c, k in enumerate(vector):
-            if k > self._v[c]:
-                self._v[c] = k
+        items = vector.items() if hasattr(vector, "items") else enumerate(vector)
+        for c, k in items:
+            if k > v[c]:
+                v[c] = k
                 moved = True
         return moved
 

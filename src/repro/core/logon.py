@@ -21,6 +21,7 @@ from __future__ import annotations
 from math import log2
 
 from repro.core.antecedence import AntecedenceGraph
+from repro.core.bounds import BoundVector
 from repro.core.events import Determinant
 from repro.core.piggyback import Piggyback, flat_bytes
 from repro.core.protocol_base import VProtocol
@@ -35,14 +36,15 @@ class LogOnProtocol(VProtocol):
     def __init__(self, rank, nprocs, config, probes):
         super().__init__(rank, nprocs, config, probes)
         self.graph = AntecedenceGraph(nprocs)
-        self.known: dict[int, list[int]] = {}
+        #: peer -> sparse per-creator clock bounds the peer is known to hold
+        self.known: dict[int, BoundVector] = {}
         #: peer -> highest reception clock observed via dep fields
         self.peer_clock_seen: dict[int, int] = {}
 
-    def _known(self, peer: int) -> list[int]:
+    def _known(self, peer: int) -> BoundVector:
         k = self.known.get(peer)
         if k is None:
-            k = self.known[peer] = [0] * self.nprocs
+            k = self.known[peer] = BoundVector()
         return k
 
     # ------------------------------------------------------------------ #
@@ -68,9 +70,10 @@ class LogOnProtocol(VProtocol):
         ordered = self.graph.topological(events)
         n = len(ordered)
         reorder = n * max(1.0, log2(n)) * cfg.cost_logon_reorder_s if n else 0.0
+        # sparse mode charges the held chains actually scanned, not nprocs
         cost = (
             cfg.cost_piggyback_fixed_s
-            + cfg.cost_pb_send_per_rank_s * self.nprocs
+            + self._pb_send_scan_cost(len(self.graph.seqs))
             + (visits + scan) * cfg.cost_graph_visit_s
             + reorder
             + n * cfg.cost_serialize_event_s
@@ -90,21 +93,30 @@ class LogOnProtocol(VProtocol):
 
     def accept_piggyback(self, src: int, pb: Piggyback, dep: int) -> float:
         cfg = self.config
-        known = self._known(src)
+        known = self._known(src).data
+        kget = known.get
         new = 0
         for det in pb.events:
             if self.graph.add(det):
                 new += 1
-            if det.clock > known[det.creator]:
+            if det.clock > kget(det.creator, 0):
                 known[det.creator] = det.clock
-        if dep > known[src]:
+        if dep > kget(src, 0):
             known[src] = dep
         if dep > self.peer_clock_seen.get(src, 0):
             self.peer_clock_seen[src] = dep
+        # sparse mode: the flat wire format has no run table, so the touched
+        # knowledge entries are the distinct creators plus src's own (the
+        # set is only materialized when the sparse model will charge for it)
+        touched = (
+            0
+            if self._recv_scan_dense is not None
+            else len({det.creator for det in pb.events}) + 1
+        )
         # single forward pass: the partial order guarantees predecessors
         # are already present, so no re-linking pass is needed
         cost = (
-            cfg.cost_pb_recv_per_rank_s * self.nprocs
+            self._pb_recv_scan_cost(touched)
             + new * cfg.cost_graph_insert_s
             + len(pb.events) * cfg.cost_deserialize_event_s
         )
@@ -113,7 +125,7 @@ class LogOnProtocol(VProtocol):
         self.probes.note_events_held(len(self.graph))
         return cost
 
-    def on_el_ack(self, stable_vector: list[int]) -> None:
+    def on_el_ack(self, stable_vector) -> None:
         super().on_el_ack(stable_vector)
         self.graph.prune(self.stable)
 
@@ -131,7 +143,7 @@ class LogOnProtocol(VProtocol):
     def export_state(self) -> dict:
         return {
             "graph": self.graph.export_state(),
-            "known": {p: list(v) for p, v in self.known.items()},
+            "known": {p: v.export_state() for p, v in self.known.items()},
             "peer_clock_seen": dict(self.peer_clock_seen),
             "stable": self.stable.as_list(),
         }
@@ -139,6 +151,8 @@ class LogOnProtocol(VProtocol):
     def restore_state(self, state: dict) -> None:
         self.graph = AntecedenceGraph(self.nprocs)
         self.graph.restore_state(state["graph"])
-        self.known = {p: list(v) for p, v in state["known"].items()}
+        self.known = {
+            p: BoundVector.from_state(v) for p, v in state["known"].items()
+        }
         self.peer_clock_seen = dict(state["peer_clock_seen"])
         self.stable.update(state["stable"])

@@ -20,6 +20,7 @@ from __future__ import annotations
 from math import log2
 
 from repro.core.antecedence import AntecedenceGraph
+from repro.core.bounds import BoundVector
 from repro.core.events import Determinant
 from repro.core.piggyback import (
     Piggyback,
@@ -38,16 +39,16 @@ class ManethoProtocol(VProtocol):
     def __init__(self, rank, nprocs, config, probes):
         super().__init__(rank, nprocs, config, probes)
         self.graph = AntecedenceGraph(nprocs)
-        #: peer -> per-creator clock bounds the peer is known to hold
-        self.known: dict[int, list[int]] = {}
+        #: peer -> sparse per-creator clock bounds the peer is known to hold
+        self.known: dict[int, BoundVector] = {}
         #: peer -> highest reception clock of that peer observed (via dep
         #: fields); the graph itself may know an even later event of the peer
         self.peer_clock_seen: dict[int, int] = {}
 
-    def _known(self, peer: int) -> list[int]:
+    def _known(self, peer: int) -> BoundVector:
         k = self.known.get(peer)
         if k is None:
-            k = self.known[peer] = [0] * self.nprocs
+            k = self.known[peer] = BoundVector()
         return k
 
     # ------------------------------------------------------------------ #
@@ -73,9 +74,10 @@ class ManethoProtocol(VProtocol):
         events, scan, runs = self.graph.select_unknown(known, self.stable)
         visits += scan
         n = len(events)
+        # sparse mode charges the held chains actually scanned, not nprocs
         cost = (
             cfg.cost_piggyback_fixed_s
-            + cfg.cost_pb_send_per_rank_s * self.nprocs
+            + self._pb_send_scan_cost(len(self.graph.seqs))
             + visits * cfg.cost_graph_visit_s
             + n * cfg.cost_serialize_event_s
             + cfg.cost_graph_pressure_s * log2(1 + len(self.graph))
@@ -95,20 +97,22 @@ class ManethoProtocol(VProtocol):
 
     def accept_piggyback(self, src: int, pb: Piggyback, dep: int) -> float:
         cfg = self.config
-        known = self._known(src)
+        known = self._known(src).data
+        kget = known.get
         graph = self.graph
         events = pb.events
         total = len(events)
         new = 0
+        runs = pb.runs or creator_runs(events)
         # the factored wire format groups events into clock-ascending
         # creator runs; merge run-at-a-time (see AntecedenceGraph.add_run)
-        for creator, i, j in pb.runs or creator_runs(events):
+        for creator, i, j in runs:
             new += graph.add_run(events[i:j])
             last = events[j - 1].clock
-            if last > known[creator]:
+            if last > kget(creator, 0):
                 known[creator] = last
         dup = total - new
-        if dep > known[src]:
+        if dep > kget(src, 0):
             known[src] = dep
         # knowledge closure of (src, dep) is discovered lazily at next send
         if dep > self.peer_clock_seen.get(src, 0):
@@ -116,8 +120,9 @@ class ManethoProtocol(VProtocol):
         # Manetho must re-cross the merged region to generate the new edges
         # (second pass over every piggybacked event)
         relink = new + dup
+        # sparse mode: one knowledge entry touched per run plus src's own
         cost = (
-            cfg.cost_pb_recv_per_rank_s * self.nprocs
+            self._pb_recv_scan_cost(len(runs) + 1)
             + new * cfg.cost_graph_insert_s
             + relink * cfg.cost_graph_insert_s
             + len(pb.events) * cfg.cost_deserialize_event_s
@@ -127,7 +132,7 @@ class ManethoProtocol(VProtocol):
         self.probes.note_events_held(len(self.graph))
         return cost
 
-    def on_el_ack(self, stable_vector: list[int]) -> None:
+    def on_el_ack(self, stable_vector) -> None:
         super().on_el_ack(stable_vector)
         self.graph.prune(self.stable)
 
@@ -145,7 +150,7 @@ class ManethoProtocol(VProtocol):
     def export_state(self) -> dict:
         return {
             "graph": self.graph.export_state(),
-            "known": {p: list(v) for p, v in self.known.items()},
+            "known": {p: v.export_state() for p, v in self.known.items()},
             "peer_clock_seen": dict(self.peer_clock_seen),
             "stable": self.stable.as_list(),
         }
@@ -153,6 +158,8 @@ class ManethoProtocol(VProtocol):
     def restore_state(self, state: dict) -> None:
         self.graph = AntecedenceGraph(self.nprocs)
         self.graph.restore_state(state["graph"])
-        self.known = {p: list(v) for p, v in state["known"].items()}
+        self.known = {
+            p: BoundVector.from_state(v) for p, v in state["known"].items()
+        }
         self.peer_clock_seen = dict(state["peer_clock_seen"])
         self.stable.update(state["stable"])

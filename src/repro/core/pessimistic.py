@@ -38,7 +38,7 @@ class PessimisticProtocol(VProtocol):
         self.own.append(det)
         self.probes.note_events_held(len(self.own))
 
-    def on_el_ack(self, stable_vector: list[int]) -> None:
+    def on_el_ack(self, stable_vector) -> None:
         super().on_el_ack(stable_vector)
         self.own.prune_upto(self.stable[self.rank])
 

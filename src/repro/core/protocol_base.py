@@ -59,9 +59,39 @@ class VProtocol:
         self.probes = probes
         self.daemon: Optional["Vdaemon"] = None
         self.stable = StableVector(nprocs)
+        #: bound-vector scan cost model (see ClusterConfig.pb_cost_model).
+        #: Dense compatibility mode charges these precomputed ``× nprocs``
+        #: constants on every build/merge; None selects the sparse model,
+        #: where the hooks charge ``cost_pb_*_per_entry_s × touched
+        #: entries`` instead.  Precomputed so the per-message hot paths pay
+        #: an attribute load, not a string compare.
+        if config.pb_cost_model == "dense":
+            self._send_scan_dense: Optional[float] = (
+                config.cost_pb_send_per_rank_s * nprocs
+            )
+            self._recv_scan_dense: Optional[float] = (
+                config.cost_pb_recv_per_rank_s * nprocs
+            )
+        else:
+            self._send_scan_dense = None
+            self._recv_scan_dense = None
 
     def bind(self, daemon: "Vdaemon") -> None:
         self.daemon = daemon
+
+    def _pb_send_scan_cost(self, touched: int) -> float:
+        """Cost of scanning per-peer bound structures on a build."""
+        flat = self._send_scan_dense
+        if flat is not None:
+            return flat
+        return self.config.cost_pb_send_per_entry_s * touched
+
+    def _pb_recv_scan_cost(self, touched: int) -> float:
+        """Cost of updating per-peer bound structures on an accept."""
+        flat = self._recv_scan_dense
+        if flat is not None:
+            return flat
+        return self.config.cost_pb_recv_per_entry_s * touched
 
     # ------------------------------------------------------------------ #
     # fault-free hooks
@@ -80,7 +110,7 @@ class VProtocol:
         """
         return 0.0
 
-    def on_el_ack(self, stable_vector: list[int]) -> None:
+    def on_el_ack(self, stable_vector) -> None:
         self.stable.update(stable_vector)
 
     # ------------------------------------------------------------------ #

@@ -44,13 +44,20 @@ def run_nas(
     checkpoint_interval_s: Optional[float] = None,
     fault_plan: Optional[FaultPlan] = None,
     seed: int = 0,
+    app_kwargs: Optional[dict] = None,
 ) -> tuple[RunResult, NasInfo]:
-    """Run one NAS skeleton configuration to completion."""
+    """Run one NAS skeleton configuration to completion.
+
+    ``app_kwargs`` is forwarded to the benchmark builder (e.g. CG's
+    ``inner`` truncation).
+    """
     if bench not in FAST_ITERATIONS:
         raise ValueError(f"unknown NAS benchmark {bench!r}")
     if iterations is None:
         iterations = (FAST_ITERATIONS if fast else FULL_ITERATIONS)[bench]
-    app, info = make_app(bench, klass, nprocs, iterations=iterations)
+    app, info = make_app(
+        bench, klass, nprocs, iterations=iterations, **(app_kwargs or {})
+    )
     cluster = Cluster(
         nprocs=nprocs,
         app_factory=app,

@@ -73,6 +73,19 @@ class ClusterConfig:
     # than the +22 µs seen in the 2-process ping-pong (Fig. 8 vs Fig. 6a).
     cost_pb_send_per_rank_s: float = 1.5e-6    # × nprocs, on every build
     cost_pb_recv_per_rank_s: float = 0.6e-6    # × nprocs, on every merge
+    # Bound/knowledge-vector cost model.  "dense" charges the two × nprocs
+    # constants above on every build/merge (the original formulas, kept as
+    # the compatibility mode so recorded BENCH checksums stay comparable).
+    # "sparse" models the BoundVector representation honestly: work scales
+    # with the entries actually touched (held sequences scanned on build,
+    # creator runs merged on accept), not with cluster size — this is what
+    # unlocks 256+ rank scenarios.  The same switch selects the EL ack
+    # wire format: a dense 4-byte-per-rank clock array vs (rank, clock)
+    # pairs for the nonzero entries only.
+    pb_cost_model: str = "dense"               # "dense" | "sparse"
+    cost_pb_send_per_entry_s: float = 1.5e-6   # × touched entries, on build
+    cost_pb_recv_per_entry_s: float = 0.6e-6   # × touched entries, on merge
+    el_ack_entry_bytes: int = 8                # (rank, clock) pair, sparse acks
     # Memory-pressure term: volatile causal structures that keep growing
     # (the no-EL mode) slow every piggyback operation down — the paper
     # attributes part of the 5-10% no-EL latency penalty to the growing
@@ -121,6 +134,12 @@ class ClusterConfig:
     pb_event_factored_bytes: int = 12  # event without receiver rank
     pb_event_flat_bytes: int = 16      # LogOn event incl. receiver rank
     pb_length_header_bytes: int = 4    # piggyback length prefix
+
+    def __post_init__(self):
+        if self.pb_cost_model not in ("dense", "sparse"):
+            raise ValueError(
+                f"pb_cost_model must be 'dense' or 'sparse', got {self.pb_cost_model!r}"
+            )
 
     def with_overrides(self, **kw) -> "ClusterConfig":
         """Return a copy with the given fields replaced."""

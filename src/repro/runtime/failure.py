@@ -50,38 +50,74 @@ class OneShotFaults(FaultPlan):
         return f"one-shot faults at {self.faults}"
 
 
+def _killable(cluster: "Cluster", rank: int) -> bool:
+    """True when ``rank`` is steady enough to be a fault victim.
+
+    A rank that is dead, mid-recovery, or replaying is still being handled
+    by the dispatcher from the *previous* fault: killing it again would
+    double-kill an episode in flight (and a dead rank would silently eat
+    the period's fault).  Ranks that already finished are not running
+    application code, so the paper's "kill during execution" rule skips
+    them too.
+    """
+    if rank in cluster.finished_ranks:
+        return False
+    daemon = cluster.daemons[rank]
+    return daemon.alive and not daemon.recovering and not daemon.in_replay
+
+
 @dataclass
 class PeriodicFaults(FaultPlan):
     """One fault every ``1/per_minute`` minutes until the run completes.
 
     ``victim`` selects the policy: "round-robin" cycles ranks (the paper
     kills whichever node the dispatcher restarts next), "random" draws
-    uniformly, or a fixed integer rank.
+    uniformly, or a fixed integer rank.  Whatever the policy, a rank that
+    is dead or still mid-restart from the previous fault is skipped (the
+    next eligible rank is probed cyclically); if no rank is eligible the
+    period's fault is dropped and the plan rearms.
     """
 
     per_minute: float = 1.0
     start_s: float = 30.0
     victim: str | int = "round-robin"
     seed: int = 0
+    #: stop after this many injected faults (None: until the run completes);
+    #: bounds fault storms whose period is shorter than a recovery episode
+    max_faults: Optional[int] = None
 
     def install(self, sim: Simulator, cluster: "Cluster") -> None:
         if self.per_minute <= 0:
             return
         period = 60.0 / self.per_minute
         rng = np.random.default_rng(self.seed)
-        state = {"next": 0}
+        state = {"next": 0, "fired": 0}
+
+        def pick() -> Optional[int]:
+            n = cluster.nprocs
+            if isinstance(self.victim, int):
+                return self.victim if _killable(cluster, self.victim) else None
+            if self.victim == "random":
+                first = int(rng.integers(n))
+            else:
+                first = state["next"] % n
+            for probe in range(n):
+                rank = (first + probe) % n
+                if _killable(cluster, rank):
+                    if self.victim != "random":
+                        state["next"] = rank + 1
+                    return rank
+            return None
 
         def fire() -> None:
             if cluster.finished:
                 return
-            if isinstance(self.victim, int):
-                rank = self.victim
-            elif self.victim == "random":
-                rank = int(rng.integers(cluster.nprocs))
-            else:
-                rank = state["next"] % cluster.nprocs
-                state["next"] += 1
-            cluster.inject_fault(rank)
+            if self.max_faults is not None and state["fired"] >= self.max_faults:
+                return
+            rank = pick()
+            if rank is not None:
+                cluster.inject_fault(rank)
+                state["fired"] += 1
             sim.schedule(period, fire)
 
         sim.schedule(self.start_s, fire)

@@ -141,15 +141,20 @@ def make_app(
     klass: str,
     nprocs: int,
     iterations: Optional[int] = None,
+    **overrides,
 ):
     """Build (app_factory, NasInfo) for a benchmark skeleton.
 
     ``iterations`` truncates the official outer-iteration count (see module
-    docstring); None runs the full count.
+    docstring); None runs the full count.  Extra keyword overrides are
+    forwarded to the benchmark builder (e.g. CG's ``inner`` truncation used
+    by the quick 256-rank benchmark scenario).
     """
     # import side registers the builders
     from repro.workloads.nas import bt, cg, ft, lu, mg, sp  # noqa: F401
 
     if bench not in NAS_BENCHMARKS:
         raise ValueError(f"unknown NAS benchmark {bench!r}")
-    return NAS_BENCHMARKS[bench](klass=klass, nprocs=nprocs, iterations=iterations)
+    return NAS_BENCHMARKS[bench](
+        klass=klass, nprocs=nprocs, iterations=iterations, **overrides
+    )

@@ -4,6 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.antecedence import AntecedenceGraph
+from repro.core.bounds import BoundVector
 from repro.core.events import Determinant, StableVector
 
 
@@ -44,24 +45,24 @@ def test_lamport_stamps_respect_causality():
 
 def test_raise_knowledge_covers_causal_past():
     g = build_chain_world()
-    known = [0, 0, 0]
+    known = BoundVector()
     stable = StableVector(3)
     # knowing P0's event d implies knowing the whole chain
     g.raise_knowledge((0, 2), known, stable)
-    assert known == [2, 1, 1]
+    assert known.as_list(3) == [2, 1, 1]
 
 
 def test_raise_knowledge_partial():
     g = build_chain_world()
-    known = [0, 0, 0]
+    known = BoundVector()
     stable = StableVector(3)
     g.raise_knowledge((1, 1), known, stable)
-    assert known == [1, 1, 0]  # covers a and b, not c or d
+    assert known.as_list(3) == [1, 1, 0]  # covers a and b, not c or d
 
 
 def test_raise_knowledge_counts_visits():
     g = build_chain_world()
-    known = [0, 0, 0]
+    known = BoundVector()
     visits = g.raise_knowledge((0, 2), known, StableVector(3))
     assert visits == 4
     # a second call discovers nothing new
@@ -71,13 +72,13 @@ def test_raise_knowledge_counts_visits():
 def test_select_unknown_respects_bounds():
     g = build_chain_world()
     stable = StableVector(3)
-    known = [1, 0, 0]
+    known = BoundVector([1, 0, 0])
     events, _, runs = g.select_unknown(known, stable)
     assert {(d.creator, d.clock) for d in events} == {(0, 2), (1, 1), (2, 1)}
     # one (creator, start, stop) run per contributing creator
     assert runs == [(0, 0, 1), (1, 1, 2), (2, 2, 3)]
     # known was raised in place over everything selected
-    assert known == [2, 1, 1]
+    assert known.as_list(3) == [2, 1, 1]
 
 
 def test_select_unknown_respects_stable():
@@ -85,7 +86,7 @@ def test_select_unknown_respects_stable():
     stable = StableVector(3)
     stable.advance(0, 2)
     stable.advance(1, 1)
-    events, _, _ = g.select_unknown([0, 0, 0], stable)
+    events, _, _ = g.select_unknown(BoundVector(), stable)
     assert {(d.creator, d.clock) for d in events} == {(2, 1)}
 
 
@@ -105,7 +106,7 @@ def test_prune_makes_knowledge_conservative_not_wrong():
     stable = StableVector(3)
     stable.advance(0, 1)
     g.prune(stable)
-    known = [0, 0, 0]
+    known = BoundVector()
     g.raise_knowledge((0, 2), known, stable)
     # the traversal can no longer reach a (pruned), but a is stable so it
     # is excluded from piggybacks anyway
@@ -128,7 +129,7 @@ def test_export_restore_roundtrip():
     g2.restore_state(state)
     assert len(g2) == len(g)
     assert g2.lamport == g.lamport
-    known1, known2 = [0, 0, 0], [0, 0, 0]
+    known1, known2 = BoundVector(), BoundVector()
     g.raise_knowledge((0, 2), known1, StableVector(3))
     g2.raise_knowledge((0, 2), known2, StableVector(3))
     assert known1 == known2

@@ -29,8 +29,8 @@ def test_log_and_ack_carries_stable_vector():
     acks = []
     el.receive_log(1, (det(1, 1),), lambda v: acks.append(v), "n1")
     sim.run()
-    assert acks == [[0, 1, 0]]
-    assert el.stable_clock == [0, 1, 0]
+    assert [v.as_list(3) for v in acks] == [[0, 1, 0]]
+    assert el.stable_clock.as_list(3) == [0, 1, 0]
     assert probes.el_determinants_stored == 1
 
 
@@ -94,9 +94,27 @@ def test_hole_keeps_stability_at_contiguous_prefix():
     assert el.stable_clock[0] == 1  # 3 stored but not stable past the hole
 
 
-def test_ack_vector_length_matches_nprocs():
+def test_ack_vector_covers_nprocs():
     sim, net, el, _ = make_el(nprocs=5)
     acks = []
     el.receive_log(4, (det(4, 1),), lambda v: acks.append(v), "n0")
     sim.run()
-    assert len(acks[0]) == 5
+    assert acks[0].as_list(5) == [0, 0, 0, 0, 1]
+
+
+def test_ack_wire_bytes_dense_vs_sparse():
+    """The dense compatibility format grows with nprocs; the sparse format
+    grows only with the creators that have actually logged something."""
+    cfg = ClusterConfig()
+    sim, net, el, _ = make_el(nprocs=64)
+    el.receive_log(0, (det(0, 1),), lambda v: None, "n0")
+    sim.run()
+    dense = el.ack_vector_bytes(el.stable_clock)
+    assert dense == 4 * 64
+
+    sim, net, el, _ = make_el(nprocs=64, pb_cost_model="sparse")
+    el.receive_log(0, (det(0, 1),), lambda v: None, "n0")
+    sim.run()
+    sparse = el.ack_vector_bytes(el.stable_clock)
+    assert sparse == cfg.el_ack_entry_bytes * 1
+    assert sparse < dense

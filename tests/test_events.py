@@ -156,6 +156,49 @@ def test_merge_never_resurrects_pruned_events():
     assert seq2.pruned_upto == 2
 
 
+def test_export_restore_preserves_prune_floor():
+    """pruned_upto is part of the checkpoint round-trip: without it a
+    restored sequence re-admits duplicates of stable events."""
+    seq = EventSequence(0)
+    for k in range(1, 9):
+        seq.append(det(clock=k))
+    seq.prune_upto(5)
+    restored = EventSequence.from_state(0, seq.export_state())
+    assert restored.pruned_upto == 5
+    assert [d.clock for d in restored] == [6, 7, 8]
+    assert restored.max_clock == 8
+    assert restored.merge([det(clock=3)]) == 0
+    assert restored.get(3) is None
+
+
+def test_restore_of_fully_pruned_sequence_refuses_stale_runs():
+    """The run-classification fast path must treat events at or below the
+    prune floor as duplicates even when max_clock reads 0 (fully pruned
+    and compacted, or freshly restored)."""
+    seq = EventSequence(0)
+    for k in range(1, 5):
+        seq.append(det(clock=k))
+    seq.prune_upto(4)
+    restored = EventSequence.from_state(0, seq.export_state())
+    assert len(restored) == 0 and restored.max_clock == 0
+    # a whole-stale run classifies as fully duplicate
+    assert restored.new_run_offset(1, 4, 4) == 4
+    # a run straddling the floor splits at the floor
+    assert restored.new_run_offset(3, 6, 4) == 2
+    # a run with holes below the floor falls back to per-event merging
+    assert restored.new_run_offset(2, 6, 3) is None
+    # and merge itself keeps refusing the stale part
+    assert restored.merge([det(clock=2), det(clock=5)]) == 1
+    assert [d.clock for d in restored] == [5]
+
+
+def test_from_state_accepts_legacy_bare_lists():
+    dets = [det(clock=k) for k in range(1, 4)]
+    restored = EventSequence.from_state(0, dets)
+    assert [d.clock for d in restored] == [1, 2, 3]
+    assert restored.pruned_upto == 0
+
+
 def test_merge_rebuild_then_prune_then_tail_after():
     seq = EventSequence(0)
     seq.merge([det(clock=k) for k in range(1, 30, 2)])   # odds

@@ -293,6 +293,92 @@ def test_stable_events_never_piggybacked_again(cls):
 
 
 @pytest.mark.parametrize("cls", PROTOCOLS)
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_export_restore_accept_cycle_keeps_counters_in_sync(cls, data):
+    """PR-1's maintained counters (events_held, graph size, max_clock /
+    contiguity) must survive an export → restore → accept cycle: a restore
+    that rebuilds the sequences without the prune floors would re-admit
+    stale duplicates on the next accept and silently desync events_held().
+    """
+    n = data.draw(st.integers(2, 4), label="nprocs")
+    world = MiniWorld(cls, n)
+    steps = data.draw(st.integers(1, 30), label="steps")
+    for _ in range(steps):
+        kind = data.draw(st.sampled_from(["send", "send", "send", "ack"]))
+        if kind == "send":
+            src = data.draw(st.integers(0, n - 1))
+            dst = data.draw(st.integers(0, n - 1).filter(lambda r: r != src))
+            world.send(src, dst)
+        else:
+            advance = {
+                c: data.draw(st.integers(0, max(world.clocks[c], 0)))
+                for c in range(n)
+            }
+            world.ack(advance, recipients=list(range(n)))
+    # checkpoint/restore one rank in place, then keep running the schedule
+    # through it: counters must stay equal to the full recount at every
+    # hook boundary, and nothing pruned may come back
+    victim = data.draw(st.integers(0, n - 1), label="victim")
+    proto = world.protocols[victim]
+    import copy
+
+    state = copy.deepcopy(proto.export_state())
+    fresh = cls(victim, n, CFG, ProcessProbes(rank=victim))
+    fresh.restore_state(state)
+    world.protocols[victim] = fresh
+    assert fresh.events_held() == proto.events_held()
+    assert fresh.events_held() == fresh.scan_events_held()
+    for _ in range(data.draw(st.integers(1, 10), label="post_steps")):
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1).filter(lambda r: r != src))
+        world.send(src, dst)
+        for r in range(n):
+            p = world.protocols[r]
+            assert p.events_held() == p.scan_events_held()
+        # restored holdings must never fall below the global stable bound
+        for c in range(n):
+            held = world.protocols[victim].events_created_by(c)
+            assert all(d.clock > 0 for d in held)
+
+
+@pytest.mark.parametrize("cls", PROTOCOLS)
+def test_restore_does_not_resurrect_pruned_events(cls):
+    """Events pruned as stable must stay gone across export/restore: the
+    per-sequence prune floor is part of the checkpoint image."""
+    n = 3
+    world = MiniWorld(cls, n)
+    for _ in range(4):
+        world.send(0, 1)
+        world.send(1, 2)
+        world.send(2, 0)
+    # every event becomes stable and is pruned everywhere
+    world.ack({c: world.clocks[c] for c in range(n)}, recipients=[0, 1, 2])
+    proto = world.protocols[1]
+    assert proto.events_held() == 0
+    import copy
+
+    state = copy.deepcopy(proto.export_state())
+    fresh = cls(1, n, CFG, ProcessProbes(rank=1))
+    fresh.restore_state(state)
+    # a stale piggyback replaying pre-stable events must be refused
+    stale = [
+        Determinant(0, 1, 2, 1, 0),
+        Determinant(0, 2, 1, 1, 0),
+    ]
+    from repro.core.piggyback import Piggyback, creator_runs, factored_bytes
+
+    pb = Piggyback(
+        events=tuple(stale),
+        nbytes=factored_bytes(stale, CFG),
+        runs=tuple(creator_runs(stale)),
+    )
+    fresh.accept_piggyback(0, pb, 0)
+    assert fresh.events_held() == fresh.scan_events_held()
+    assert [d.clock for d in fresh.events_created_by(0)] == []
+
+
+@pytest.mark.parametrize("cls", PROTOCOLS)
 def test_export_restore_roundtrip_preserves_behaviour(cls):
     n = 3
     world = MiniWorld(cls, n)

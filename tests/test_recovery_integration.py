@@ -8,7 +8,7 @@ run must complete.
 
 import pytest
 
-from repro import Cluster, OneShotFaults, PeriodicFaults
+from repro import Cluster, ClusterConfig, OneShotFaults, PeriodicFaults
 
 from tests.conftest import CAUSAL_STACKS, LOGGING_STACKS, ring_app, run_ring
 
@@ -115,6 +115,61 @@ def test_periodic_faults_until_completion(baseline):
     assert result.finished
     assert result.results == baseline
     assert result.cluster.dispatcher.faults_seen >= 2
+
+
+#: fast-recovery config for the fault-storm tests below: detection and
+#: restart are shrunk so the cluster makes progress between faults, while
+#: the fault period stays *shorter* than a full recovery episode — i.e.
+#: faults reliably fire while the previous victim is still mid-restart
+FAST_RECOVERY = ClusterConfig().with_overrides(
+    fault_detection_delay_s=0.03, restart_overhead_s=0.01
+)
+
+
+@pytest.mark.parametrize("victim", ["round-robin", "random"])
+def test_faults_faster_than_recovery_skip_unsteady_ranks(victim):
+    """Regression: a fault period shorter than detect+restart+replay used
+    to let PeriodicFaults pick a rank that was still dead or mid-restart
+    from the previous fault — the period's fault was silently swallowed
+    (or double-killed a recovery in flight).  Victim selection now probes
+    for a steady rank, so every planned fault lands on a live victim: at
+    2 ranks and a 10 ms period the old selection lands only 1-2 of the 4
+    planned faults."""
+    reference = run_ring("vcausal", nprocs=2, iterations=15, config=FAST_RECOVERY)
+    period_s = 0.01  # << detection (0.03) + restart (0.01) + replay
+    result = run_ring(
+        "vcausal", nprocs=2, iterations=15, config=FAST_RECOVERY,
+        fault_plan=PeriodicFaults(
+            per_minute=60.0 / period_s, start_s=0.02, victim=victim, seed=3,
+            max_faults=4,
+        ),
+    )
+    assert result.finished
+    assert result.results == reference.results
+    # every planned fault landed on a steady rank (none wasted on a dead
+    # or restarting one), and each produced exactly one recovery episode
+    probes = result.probes
+    assert result.cluster.dispatcher.faults_seen == 4
+    assert len(probes.recoveries) == 4
+    assert probes.total("restarts") == 4
+
+
+def test_fixed_victim_skipped_while_down():
+    """A fixed-rank plan must not re-kill its victim mid-recovery; it
+    rearms and fires once the victim is steady again."""
+    reference = run_ring("vcausal", nprocs=2, iterations=15, config=FAST_RECOVERY)
+    period_s = 0.01
+    result = run_ring(
+        "vcausal", nprocs=2, iterations=15, config=FAST_RECOVERY,
+        fault_plan=PeriodicFaults(
+            per_minute=60.0 / period_s, start_s=0.02, victim=1, max_faults=4
+        ),
+    )
+    assert result.finished
+    assert result.results == reference.results
+    assert all(r.rank == 1 for r in result.probes.recoveries)
+    assert result.cluster.dispatcher.faults_seen == 4
+    assert len(result.probes.recoveries) == 4
 
 
 def test_recovery_record_captured(baseline):

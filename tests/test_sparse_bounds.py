@@ -1,0 +1,165 @@
+"""Tests for the sparse bound/knowledge vectors and their cost model.
+
+Three layers:
+
+* :class:`~repro.core.bounds.BoundVector` unit behaviour,
+* representation equivalence — the sparse representation with the dense
+  (compatibility) cost model must simulate *bit-identically* to the
+  historical dense vectors, including across faults and recovery,
+* the sparse cost model itself — per-message piggyback cost must scale
+  with touched entries, not with nprocs, which is what unlocks the
+  256+ rank scenarios (exercised at 64 ranks here to stay in CI budget).
+"""
+
+import pytest
+
+from repro import Cluster, ClusterConfig, OneShotFaults
+from repro.core.bounds import BoundVector
+
+from tests.conftest import ring_app, run_ring
+
+SPARSE = ClusterConfig().with_overrides(pb_cost_model="sparse")
+
+
+# --------------------------------------------------------------------- #
+# BoundVector unit behaviour
+
+def test_zero_default_and_sparse_storage():
+    bv = BoundVector()
+    assert bv[7] == 0
+    assert len(bv) == 0
+    bv[3] = 5
+    assert bv[3] == 5
+    assert len(bv) == 1
+    bv[3] = 0  # writing zero removes the entry
+    assert len(bv) == 0
+
+
+def test_from_dense_list_drops_zeros():
+    bv = BoundVector([0, 4, 0, 9])
+    assert dict(bv.items()) == {1: 4, 3: 9}
+    assert bv.as_list(4) == [0, 4, 0, 9]
+    assert bv.as_list(6) == [0, 4, 0, 9, 0, 0]
+
+
+def test_raise_to_is_monotone():
+    bv = BoundVector()
+    assert bv.raise_to(2, 5) is True
+    assert bv.raise_to(2, 3) is False
+    assert bv[2] == 5
+
+
+def test_update_max_and_max_with():
+    a = BoundVector({0: 3, 1: 7})
+    b = BoundVector({1: 2, 2: 9})
+    merged = a.max_with(b)
+    assert dict(merged.items()) == {0: 3, 1: 7, 2: 9}
+    # max_with does not mutate; update_max does
+    assert dict(a.items()) == {0: 3, 1: 7}
+    assert a.update_max([0, 8, 1]) is True
+    assert dict(a.items()) == {0: 3, 1: 8, 2: 1}
+    assert a.update_max({1: 4}) is False
+
+
+def test_copy_is_independent():
+    a = BoundVector({0: 1})
+    b = a.copy()
+    b[0] = 9
+    assert a[0] == 1
+
+
+def test_export_restore_roundtrip_and_legacy_lists():
+    a = BoundVector({2: 4, 5: 1})
+    assert BoundVector.from_state(a.export_state()) == a
+    assert BoundVector.from_state([0, 0, 4, 0, 0, 1]) == BoundVector({2: 4, 5: 1})
+
+
+# --------------------------------------------------------------------- #
+# representation equivalence (dense cost model is the default — every
+# pre-existing scenario must be bit-identical to the dense-vector era)
+
+@pytest.mark.parametrize("stack", ["vcausal", "manetho", "logon"])
+def test_sparse_cost_model_preserves_results(stack):
+    """Costs change under the sparse model, timings shift — but the
+    application's deterministic results must not."""
+    dense = run_ring(stack, nprocs=4, iterations=10)
+    sparse = run_ring(stack, nprocs=4, iterations=10, config=SPARSE)
+    assert sparse.finished
+    assert sparse.results == dense.results
+
+
+def test_sparse_cost_model_cheaper_at_scale():
+    """The point of the representation: per-message piggyback time stops
+    growing with nprocs once only touched entries are charged.  The ring
+    app touches 2-3 peers per rank, so at 64 ranks the dense x-nprocs
+    charge dominates and sparse mode must finish sooner."""
+    dense = run_ring("vcausal", nprocs=64, iterations=3)
+    sparse = run_ring("vcausal", nprocs=64, iterations=3, config=SPARSE)
+    assert sparse.results == dense.results
+    # piggyback management time (the Fig. 8 metric) must shrink; the
+    # end-to-end sim_time at this small message count is dominated by the
+    # network critical path, so it is not asserted here
+    assert sparse.probes.pb_total_time_s < 0.9 * dense.probes.pb_total_time_s
+
+
+def test_invalid_cost_model_rejected():
+    with pytest.raises(ValueError):
+        ClusterConfig().with_overrides(pb_cost_model="bogus")
+
+
+# --------------------------------------------------------------------- #
+# fault injection → recovery with and without the sparse representation
+# (satellite: identical final checksums at 8 ranks)
+
+def _cg8_with_fault(config=None):
+    from repro.experiments.common import run_nas
+
+    result, _ = run_nas(
+        "cg", "A", 8, "vcausal", iterations=4, config=config,
+        fault_plan=OneShotFaults([(0.5, 0)]),
+    )
+    return result
+
+
+def test_fault_recovery_checksums_identical_dense_vs_sparse():
+    """Deterministic kill/restart at 8 ranks: the recovered run must end
+    with identical per-rank results under the dense and sparse modes (the
+    replay path goes through the same BoundVector state both ways)."""
+    dense = _cg8_with_fault()
+    sparse = _cg8_with_fault(config=SPARSE)
+    assert dense.finished and sparse.finished
+    assert dense.results == sparse.results
+    assert len(dense.probes.recoveries) == 1
+    assert len(sparse.probes.recoveries) == 1
+    # and both replayed the same history
+    assert (
+        dense.probes.recoveries[0].events_collected
+        == sparse.probes.recoveries[0].events_collected
+        > 0
+    )
+
+
+def test_fault_recovery_matches_fault_free_results():
+    from repro.experiments.common import run_nas
+
+    base, _ = run_nas("cg", "A", 8, "vcausal", iterations=4, config=SPARSE)
+    faulty = _cg8_with_fault(config=SPARSE)
+    assert faulty.results == base.results
+
+
+# --------------------------------------------------------------------- #
+# sparse EL acks inside a full cluster run
+
+def test_sparse_el_acks_prune_and_shrink_wire():
+    dense = run_ring("vcausal", nprocs=8, iterations=10)
+    sparse = run_ring("vcausal", nprocs=8, iterations=10, config=SPARSE)
+    assert sparse.results == dense.results
+    # acks flowed and pruning happened in both modes
+    assert sparse.probes.total("el_acks_received") > 0
+    held = sum(
+        sparse.cluster.daemons[r].protocol.events_held() for r in range(8)
+    )
+    scan = sum(
+        sparse.cluster.daemons[r].protocol.scan_events_held() for r in range(8)
+    )
+    assert held == scan
