@@ -164,6 +164,70 @@ def nas_sparse(bench: str, nprocs: int, stack: str, iterations: int, inner=None)
     }
 
 
+def nas_el_saturation(bench: str, nprocs: int, stack: str, iterations: int):
+    """Fig. 7 regime: a single Event Logger saturated by LU-16's
+    determinant stream (acks lag, pruning stalls, piggybacks regrow)."""
+    from repro.experiments.common import run_nas
+
+    result, _info = run_nas(bench, "A", nprocs, stack, iterations=iterations)
+    probes = result.probes
+    return result.events_executed, {
+        "events": result.events_executed,
+        "sim_time": round(result.sim_time, 9),
+        "pb_events": probes.total("piggyback_events_sent"),
+        "pb_bytes": probes.total("piggyback_bytes_sent"),
+        "messages": probes.total("app_messages_sent"),
+        "el_stored": probes.el_determinants_stored,
+        "el_peak_queue": probes.el_peak_queue,
+    }
+
+
+def nas_sharded_el(
+    bench: str,
+    nprocs: int,
+    stack: str,
+    iterations: int,
+    el_count: int,
+    strategy: str,
+    inner=None,
+):
+    """§VI sharded-EL scale scenario: 256 ranks over ``el_count`` shards.
+
+    Run once per sync topology; the checksum records the shard-sync
+    message/byte counts so the BENCH file documents the O(shards²)
+    multicast vs O(shards) tree asymmetry at identical simulation results.
+
+    The sync interval is pinned at 10 ms: at the default 2 ms, 16-shard
+    multicast (15 peer vectors of ~2 KiB per shard per round) oversubscribes
+    each shard's Fast-Ethernet NIC and the sync queues grow without bound —
+    the very pathology that motivates the tree topology, but one that has
+    to be dialled back for the multicast column to terminate at all.
+    """
+    from repro.experiments.common import run_nas
+    from repro.runtime.config import ClusterConfig
+
+    cfg = ClusterConfig().with_overrides(
+        pb_cost_model="sparse", el_count=el_count, el_sync_strategy=strategy,
+        el_sync_interval_s=10e-3,
+    )
+    result, _info = run_nas(
+        bench, "A", nprocs, stack, iterations=iterations, config=cfg,
+        app_kwargs={"inner": inner} if inner is not None else None,
+    )
+    probes = result.probes
+    group = result.cluster.event_logger
+    return result.events_executed, {
+        "events": result.events_executed,
+        "sim_time": round(result.sim_time, 9),
+        "pb_events": probes.total("piggyback_events_sent"),
+        "pb_bytes": probes.total("piggyback_bytes_sent"),
+        "messages": probes.total("app_messages_sent"),
+        "sync_rounds": group.sync_rounds,
+        "sync_messages": group.sync_messages,
+        "sync_bytes": group.sync_bytes,
+    }
+
+
 def nas_fault(bench: str, nprocs: int, stack: str, iterations: int, kill_s: float):
     """Fig. 10 regime: kill rank 0 mid-run, recover from the EL, replay."""
     from repro.experiments.common import run_nas
@@ -206,6 +270,15 @@ def scenarios(quick: bool) -> dict:
                 "cg", 256, "vcausal", 1, inner=3
             ),
             "nas_cg8_vcausal_fault": lambda: nas_fault("cg", 8, "vcausal", 2, 0.25),
+            "nas_lu16_el_saturation": lambda: nas_el_saturation(
+                "lu", 16, "vcausal", 1
+            ),
+            "nas_cg256_el16_multicast": lambda: nas_sharded_el(
+                "cg", 256, "vcausal", 1, 16, "multicast", inner=3
+            ),
+            "nas_cg256_el16_tree": lambda: nas_sharded_el(
+                "cg", 256, "vcausal", 1, 16, "tree", inner=3
+            ),
         }
     return {
         "engine_chain": lambda: engine_chain(8, 25_000),
@@ -215,6 +288,13 @@ def scenarios(quick: bool) -> dict:
         "nas_lu16_manetho_noel": lambda: nas("lu", 16, "manetho-noel", 6),
         "nas_cg256_vcausal_sparse": lambda: nas_sparse("cg", 256, "vcausal", 1),
         "nas_cg8_vcausal_fault": lambda: nas_fault("cg", 8, "vcausal", 6, 0.75),
+        "nas_lu16_el_saturation": lambda: nas_el_saturation("lu", 16, "vcausal", 6),
+        "nas_cg256_el16_multicast": lambda: nas_sharded_el(
+            "cg", 256, "vcausal", 1, 16, "multicast"
+        ),
+        "nas_cg256_el16_tree": lambda: nas_sharded_el(
+            "cg", 256, "vcausal", 1, 16, "tree"
+        ),
     }
 
 

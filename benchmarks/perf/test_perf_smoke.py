@@ -28,6 +28,16 @@ def test_quick_mode_runs_in_seconds_and_is_deterministic():
     fault = results["nas_cg8_vcausal_fault"]["checksum"]
     assert fault["recoveries"] == 1
     assert fault["replayed"] > 0
+    # ... as must the EL-saturation and sharded-EL sync-topology paths
+    saturation = results["nas_lu16_el_saturation"]["checksum"]
+    assert saturation["el_stored"] > 0
+    assert saturation["el_peak_queue"] > 1  # LU-16 actually queues at the EL
+    multicast = results["nas_cg256_el16_multicast"]["checksum"]
+    tree = results["nas_cg256_el16_tree"]["checksum"]
+    assert multicast["sync_messages"] == multicast["sync_rounds"] * 16 * 15
+    assert tree["sync_messages"] == tree["sync_rounds"] * 2 * 15
+    # the point of the tree topology: O(shards) not O(shards²) per round
+    assert tree["sync_messages"] < multicast["sync_messages"]
 
 
 def test_next_output_path_derives_index(tmp_path):

@@ -167,10 +167,12 @@ class AntecedenceGraph:
             seq = self.seqs.get(creator)
             if seq is None:
                 continue
-            # walk the chain segment (bound, clock] following cross edges
-            for det in reversed(seq.tail_after(bound)):
-                if det.clock > clock:
-                    continue
+            # walk the chain segment (bound, clock] following cross edges;
+            # index-based reverse walk over the backing list — no per-
+            # segment tail copy on the send path
+            dets, lo, hi = seq.index_window(bound, clock)
+            for i in range(hi - 1, lo - 1, -1):
+                det = dets[i]
                 visits += 1
                 if det.dep > 0 and det.dep > kget(det.sender, 0):
                     stack.append((det.sender, det.dep))

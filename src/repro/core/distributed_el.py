@@ -16,13 +16,32 @@ This module implements exactly that design space:
   creators and keeps a (possibly stale) *global view* of the others;
 * acknowledgments carry the shard's merged global view, so nodes can prune
   events of **all** creators, not just their shard's;
-* two of the paper's proposed synchronization strategies:
+* four shard-to-shard synchronization strategies:
 
   - ``"multicast"`` — each shard periodically multicasts its local slice
     of logical clocks to the other shards (nodes see fresher vectors on
-    their next ack);
+    their next ack).  O(shards²) messages per round: the all-to-all
+    exchange the paper sketches, and the scalability wall ROADMAP flags
+    for ``el_count > 8``;
   - ``"broadcast"`` — shards additionally broadcast the merged vector to
-    every compute node directly (fresher pruning, more traffic).
+    every compute node directly (fresher pruning, more traffic);
+  - ``"tree"`` — k-ary reduce-then-broadcast over the shards (the
+    MPICH-style collective pattern): views flow leaf→root along a
+    ``tree_fanout``-ary tree rooted at shard 0, the root's merged global
+    view flows back root→leaf.  2·(shards−1) messages per round over
+    O(log_k shards) network hops — the standard scalable-stabilization
+    fix (cf. Manetho's antecedence propagation, PAPERS.md);
+  - ``"gossip"`` — each shard pushes its merged view to ``gossip_fanout``
+    rotating peers per round (deterministic cyclic rotation).  shards ×
+    fanout messages per round; because the rotation enumerates every
+    peer offset, any shard's update reaches any other shard *directly*
+    within ``ceil((shards−1)/fanout)`` rounds — the staleness bound
+    surfaced as :attr:`EventLoggerGroup.staleness_bound_rounds` and in
+    ``ClusterProbes.el_sync_staleness_bound_rounds``.
+
+All four converge every shard's merged view to the same fixed point on a
+quiesced system (tested); they differ in message count and in how stale a
+shard's view of remote creators may be in between.
 
 With ``count=1`` this degenerates to the single EL of the paper's body.
 """
@@ -42,7 +61,7 @@ from repro.simulator.network import Network
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.cluster import Cluster
 
-SYNC_STRATEGIES = ("multicast", "broadcast")
+SYNC_STRATEGIES = ("multicast", "broadcast", "tree", "gossip")
 
 
 def shard_host(index: int) -> str:
@@ -113,18 +132,27 @@ class EventLoggerGroup:
         sync_strategy: str = "multicast",
         sync_interval_s: float = 2e-3,
         node_hosts: Optional[list[str]] = None,
+        tree_fanout: int = 2,
+        gossip_fanout: int = 2,
     ):
         if count < 1:
             raise ValueError("need at least one Event Logger shard")
         if sync_strategy not in SYNC_STRATEGIES:
             raise ValueError(f"unknown EL sync strategy {sync_strategy!r}")
+        if tree_fanout < 1:
+            raise ValueError("tree_fanout must be >= 1")
+        if gossip_fanout < 1:
+            raise ValueError("gossip_fanout must be >= 1")
         self.sim = sim
         self.network = network
         self.config = config
+        self.probes = probes
         self.nprocs = nprocs
         self.count = count
         self.sync_strategy = sync_strategy
         self.sync_interval_s = sync_interval_s
+        self.tree_fanout = tree_fanout
+        self.gossip_fanout = gossip_fanout
         self.node_hosts = node_hosts or []
         self.shards = [
             EventLoggerShard(sim, network, config, probes, nprocs, k)
@@ -134,6 +162,11 @@ class EventLoggerGroup:
         self.node_vector_sinks: dict[str, Callable[[list[int]], None]] = {}
         self.sync_rounds = 0
         self.sync_bytes = 0
+        #: shard-to-shard sync messages (excludes broadcast-to-node pushes,
+        #: counted separately so topologies compare on the same quantity)
+        self.sync_messages = 0
+        self.node_push_messages = 0
+        probes.el_sync_staleness_bound_rounds = self.staleness_bound_rounds
         #: liveness check set by the cluster: the periodic sync stops when
         #: the run completes, letting the event heap drain
         self.active_check: Callable[[], bool] = lambda: True
@@ -160,17 +193,48 @@ class EventLoggerGroup:
     # ------------------------------------------------------------------ #
     # synchronization
 
+    @property
+    def staleness_bound_rounds(self) -> int:
+        """Worst-case rounds before any shard's update reaches every peer
+        *directly* (transitive paths are usually faster).
+
+        multicast/broadcast/tree exchange (directly or through the root)
+        every round; gossip's cyclic rotation covers all ``count - 1`` peer
+        offsets once every ``ceil((count - 1) / fanout)`` rounds.
+        """
+        if self.count <= 1:
+            return 0
+        if self.sync_strategy != "gossip":
+            return 1
+        fanout = min(self.gossip_fanout, self.count - 1)
+        return -(-(self.count - 1) // fanout)  # ceil division
+
+    def _vector_wire_bytes(self, shard: EventLoggerShard, vector) -> int:
+        return self.config.el_ack_wire_bytes + shard.ack_vector_bytes(vector)
+
     def _sync_tick(self) -> None:
         if not self.active_check():
             return
         self.sync_rounds += 1
+        if self.sync_strategy == "tree":
+            self._tree_round()
+        elif self.sync_strategy == "gossip":
+            self._gossip_round()
+        else:
+            self._multicast_round()
+        self.sim.schedule(self.sync_interval_s, self._sync_tick)
+
+    def _multicast_round(self) -> None:
+        """All-to-all exchange (``"multicast"``/``"broadcast"``): the
+        original strategy, kept bit-identical — O(count²) messages."""
         for shard in self.shards:
             local = shard.merged_view()
-            vec_bytes = self.config.el_ack_wire_bytes + shard.ack_vector_bytes(local)
+            vec_bytes = self._vector_wire_bytes(shard, local)
             # multicast the local array of logical clocks to the other ELs
             for peer in self.shards:
                 if peer is shard:
                     continue
+                self.sync_messages += 1
                 self.sync_bytes += vec_bytes
                 self.network.transfer(
                     shard.host,
@@ -181,6 +245,7 @@ class EventLoggerGroup:
             if self.sync_strategy == "broadcast":
                 # and broadcast it to every compute node directly
                 for host, sink in self.node_vector_sinks.items():
+                    self.node_push_messages += 1
                     self.sync_bytes += vec_bytes
                     self.network.transfer(
                         shard.host,
@@ -188,7 +253,82 @@ class EventLoggerGroup:
                         vec_bytes,
                         lambda s=sink, v=local.copy(): s(v),
                     )
-        self.sim.schedule(self.sync_interval_s, self._sync_tick)
+
+    # -- tree: k-ary reduce-then-broadcast over the shards --------------- #
+
+    def _tree_children(self, index: int) -> range:
+        first = self.tree_fanout * index + 1
+        return range(first, min(first + self.tree_fanout, self.count))
+
+    def _tree_parent(self, index: int) -> int:
+        return (index - 1) // self.tree_fanout
+
+    def _tree_round(self) -> None:
+        """Reduce merged views leaf→root, broadcast the root's merged
+        global view root→leaf: 2·(count−1) messages per round."""
+        pending = [len(self._tree_children(k)) for k in range(self.count)]
+        for k in range(self.count):
+            if pending[k] == 0:
+                self._tree_send_up(k, pending)
+
+    def _tree_send_up(self, index: int, pending: list[int]) -> None:
+        shard = self.shards[index]
+        vector = shard.merged_view()
+        if index == 0:
+            # root holds the fully reduced global view: broadcast it down
+            self._tree_send_down(0, vector)
+            return
+        parent = self.shards[self._tree_parent(index)]
+        vec_bytes = self._vector_wire_bytes(shard, vector)
+        self.sync_messages += 1
+        self.sync_bytes += vec_bytes
+
+        def _absorb_up(p=parent, v=vector.copy()):
+            p.absorb_peer_vector(v)
+            pending[p.index] -= 1
+            if pending[p.index] == 0:
+                self._tree_send_up(p.index, pending)
+
+        self.network.transfer(shard.host, parent.host, vec_bytes, _absorb_up)
+
+    def _tree_send_down(self, index: int, vector) -> None:
+        shard = self.shards[index]
+        for child_index in self._tree_children(index):
+            child = self.shards[child_index]
+            vec_bytes = self._vector_wire_bytes(shard, vector)
+            self.sync_messages += 1
+            self.sync_bytes += vec_bytes
+
+            def _absorb_down(c=child, v=vector.copy()):
+                c.absorb_peer_vector(v)
+                self._tree_send_down(c.index, v)
+
+            self.network.transfer(shard.host, child.host, vec_bytes, _absorb_down)
+
+    # -- gossip: push to rotating peers ---------------------------------- #
+
+    def _gossip_round(self) -> None:
+        """Each shard pushes its merged view to ``gossip_fanout`` peers
+        chosen by a deterministic cyclic rotation: count × fanout messages
+        per round, staleness bounded by :attr:`staleness_bound_rounds`."""
+        count = self.count
+        fanout = min(self.gossip_fanout, count - 1)
+        # sync_rounds was already incremented for this round: rotate from 0
+        base = (self.sync_rounds - 1) * fanout
+        for k, shard in enumerate(self.shards):
+            vector = shard.merged_view()
+            vec_bytes = self._vector_wire_bytes(shard, vector)
+            for j in range(fanout):
+                offset = 1 + (base + j) % (count - 1)
+                peer = self.shards[(k + offset) % count]
+                self.sync_messages += 1
+                self.sync_bytes += vec_bytes
+                self.network.transfer(
+                    shard.host,
+                    peer.host,
+                    vec_bytes,
+                    lambda p=peer, v=vector.copy(): p.absorb_peer_vector(v),
+                )
 
     # ------------------------------------------------------------------ #
     # aggregate introspection

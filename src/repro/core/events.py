@@ -258,6 +258,22 @@ class EventSequence:
         i = bisect_right(self._clocks, bound, lo=self._offset)
         return self._dets[i:]
 
+    def index_window(self, bound: int, upto: int) -> tuple[list, int, int]:
+        """``(dets, lo, hi)`` such that ``dets[lo:hi]`` are exactly the
+        determinants with ``bound < clock <= upto``, clock-ordered.
+
+        Returns the backing list plus indices instead of a slice so that
+        callers can walk the window (in either direction) without copying
+        it — the knowledge traversal of the antecedence graph does this on
+        Manetho's send path, where a ``tail_after`` copy per visited chain
+        segment used to be the last per-send allocation.  The backing list
+        is **read-only by contract** (same rule as :meth:`StableVector.view`).
+        """
+        clocks = self._clocks
+        lo = bisect_right(clocks, bound, lo=self._offset)
+        hi = bisect_right(clocks, upto, lo=lo)
+        return self._dets, lo, hi
+
     def extend_tail_into(self, out: list, bound: int) -> int:
         """Append the ``clock > bound`` tail to ``out``; returns its length.
 

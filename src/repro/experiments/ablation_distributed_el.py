@@ -8,7 +8,10 @@ on the workload that saturates a single EL (NAS LU, 16 processes, Fig. 7):
 
 * residual piggyback volume vs number of EL shards,
 * application performance vs number of shards,
-* multicast vs broadcast synchronization traffic and effect.
+* sync traffic and message counts across the four shard-sync topologies
+  (``multicast``/``broadcast`` — the paper's proposals — plus ``tree``
+  and ``gossip``, the scalable fixes; see
+  :mod:`repro.core.distributed_el`), with gossip's staleness bound.
 """
 
 from __future__ import annotations
@@ -30,19 +33,27 @@ def run_lu(count: int, strategy: str = "multicast", iterations: int = 2):
     return result
 
 
+#: strategies swept per shard count (broadcast adds the per-node pushes,
+#: tree/gossip are the O(shards)-messages topologies)
+STRATEGIES = ("multicast", "broadcast", "tree", "gossip")
+
+
 def run(fast: bool = True) -> dict:
     iterations = 2 if fast else 6
     cells = {}
     for count in (1, 2, 4, 8):
-        for strategy in ("multicast", "broadcast"):
-            if count == 1 and strategy == "broadcast":
-                continue  # no peers to sync with; identical to multicast
+        for strategy in STRATEGIES:
+            if count == 1 and strategy != "multicast":
+                continue  # no peers to sync with; all strategies identical
             result = run_lu(count, strategy, iterations)
             group = result.cluster.event_logger
             cells[(count, strategy)] = {
                 "pb_percent": result.probes.piggyback_fraction,
                 "mflops": result.mflops,
                 "sync_bytes": group.sync_bytes,
+                "sync_messages": group.sync_messages,
+                "node_pushes": group.node_push_messages,
+                "staleness_rounds": group.staleness_bound_rounds,
                 "peak_queue": result.probes.el_peak_queue,
             }
     return {"cells": cells, "iterations": iterations}
@@ -57,16 +68,31 @@ def format_report(results: dict) -> str:
                 strategy,
                 f"{cell['pb_percent']:.2f}",
                 f"{cell['mflops']:.0f}",
+                cell["sync_messages"],
+                cell["node_pushes"],
                 f"{cell['sync_bytes'] / 1024:.0f} KiB",
+                cell["staleness_rounds"],
                 cell["peak_queue"],
             ]
         )
+    # "sync traffic" covers shard-to-shard vectors plus (broadcast only)
+    # the per-node pushes counted in the "node pushes" column
     return format_table(
-        ["EL shards", "sync", "piggyback %", "Mflop/s", "sync traffic", "peak queue"],
+        [
+            "EL shards",
+            "sync",
+            "piggyback %",
+            "Mflop/s",
+            "sync msgs",
+            "node pushes",
+            "sync traffic",
+            "staleness",
+            "peak queue",
+        ],
         rows,
         title=(
             "Ablation — distributed Event Logger on NAS LU A, 16 processes "
-            "(paper §VI proposal)"
+            "(paper §VI proposal + tree/gossip topologies)"
         ),
     )
 

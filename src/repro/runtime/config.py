@@ -107,12 +107,21 @@ class ClusterConfig:
     el_event_wire_bytes: int = 20          # determinant + header on the wire
     el_ack_wire_bytes: int = 16
     # Distributed Event Logger (paper §VI future work): number of EL
-    # shards, their synchronization strategy ("multicast" between shards or
-    # "broadcast" to every node) and its period.  count=1 reproduces the
-    # single EL used throughout the paper's evaluation.
+    # shards, their synchronization strategy and its period.  count=1
+    # reproduces the single EL used throughout the paper's evaluation.
+    # Strategies (see repro.core.distributed_el):
+    #   "multicast" — all-to-all between shards, O(shards²) msgs/round;
+    #   "broadcast" — multicast plus a push to every compute node;
+    #   "tree"      — k-ary reduce-then-broadcast over the shards,
+    #                 2·(shards-1) msgs/round, fanout below;
+    #   "gossip"    — each shard pushes to el_gossip_fanout rotating
+    #                 peers/round, shards·fanout msgs/round, bounded
+    #                 staleness of ceil((shards-1)/fanout) rounds.
     el_count: int = 1
     el_sync_strategy: str = "multicast"
     el_sync_interval_s: float = 2e-3
+    el_tree_fanout: int = 2
+    el_gossip_fanout: int = 2
 
     # ---------------------------------------------------------------- #
     # Checkpointing and recovery.  The checkpoint service link is
@@ -140,6 +149,10 @@ class ClusterConfig:
             raise ValueError(
                 f"pb_cost_model must be 'dense' or 'sparse', got {self.pb_cost_model!r}"
             )
+        if self.el_tree_fanout < 1:
+            raise ValueError("el_tree_fanout must be >= 1")
+        if self.el_gossip_fanout < 1:
+            raise ValueError("el_gossip_fanout must be >= 1")
 
     def with_overrides(self, **kw) -> "ClusterConfig":
         """Return a copy with the given fields replaced."""

@@ -1,0 +1,123 @@
+"""Docs check: the markdown documentation must not rot.
+
+Three validators over ``docs/*.md``, the root ``README.md`` and
+``benchmarks/perf/README.md``:
+
+* relative markdown links resolve to existing files;
+* backticked repository paths (``src/...``, ``docs/...``, layer-relative
+  ``runtime/config.py``-style references) point at existing files;
+* backticked ``repro.*`` dotted references import (module, or attribute
+  of a module);
+* fenced ``python`` code blocks at least compile.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+DOC_FILES = sorted(
+    [
+        *(REPO_ROOT / "docs").glob("*.md"),
+        REPO_ROOT / "README.md",
+        REPO_ROOT / "benchmarks" / "perf" / "README.md",
+    ]
+)
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_TICK_RE = re.compile(r"`([^`\n]+)`")
+_MODULE_RE = re.compile(r"^repro(\.\w+)+$")
+# a repo path: has a slash, no spaces/wildcards/placeholders/options
+_PATH_RE = re.compile(r"^[\w.][\w./-]*/[\w./-]*$")
+_FENCE_RE = re.compile(r"```(\w*)\n(.*?)```", re.DOTALL)
+
+#: directories a bare layer-relative reference may live under (docs often
+#: say ``runtime/config.py`` for ``src/repro/runtime/config.py``)
+_SEARCH_BASES = ("", "src/repro")
+
+
+def doc_ids():
+    return [str(p.relative_to(REPO_ROOT)) for p in DOC_FILES]
+
+
+@pytest.fixture(params=DOC_FILES, ids=doc_ids())
+def doc(request):
+    path = request.param
+    assert path.exists(), f"missing doc file {path}"
+    return path
+
+
+def test_docs_exist():
+    names = {p.name for p in DOC_FILES}
+    assert "ARCHITECTURE.md" in names
+    assert "BENCHMARKING.md" in names
+    assert (REPO_ROOT / "README.md").exists()
+
+
+def test_markdown_links_resolve(doc):
+    text = doc.read_text()
+    broken = []
+    for target in _LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#")[0]
+        if not target:
+            continue
+        if not (doc.parent / target).exists():
+            broken.append(target)
+    assert not broken, f"{doc.name}: broken links {broken}"
+
+
+def test_backticked_paths_exist(doc):
+    text = doc.read_text()
+    missing = []
+    for token in _TICK_RE.findall(text):
+        token = token.strip().rstrip("/")
+        if not _PATH_RE.match(token) or ".." in token:
+            continue
+        candidates = [doc.parent / token] + [
+            REPO_ROOT / base / token if base else REPO_ROOT / token
+            for base in _SEARCH_BASES
+        ]
+        if not any(c.exists() for c in candidates):
+            missing.append(token)
+    assert not missing, f"{doc.name}: dangling path references {missing}"
+
+
+def test_backticked_module_references_import(doc):
+    text = doc.read_text()
+    broken = []
+    for token in _TICK_RE.findall(text):
+        token = token.strip()
+        if not _MODULE_RE.match(token):
+            continue
+        try:
+            importlib.import_module(token)
+            continue
+        except ImportError:
+            pass
+        module_name, _, attr = token.rpartition(".")
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError:
+            broken.append(token)
+            continue
+        if not hasattr(module, attr):
+            broken.append(token)
+    assert not broken, f"{doc.name}: dangling module references {broken}"
+
+
+def test_python_code_fences_compile(doc):
+    text = doc.read_text()
+    for i, (lang, body) in enumerate(_FENCE_RE.findall(text)):
+        if lang != "python":
+            continue
+        try:
+            compile(body, f"{doc.name}[fence {i}]", "exec")
+        except SyntaxError as exc:  # pragma: no cover - failure message
+            pytest.fail(f"{doc.name} python fence {i} does not compile: {exc}")
