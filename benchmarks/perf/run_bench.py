@@ -13,6 +13,7 @@ Usage::
     PYTHONPATH=src python -m benchmarks.perf.run_bench                 # full run
     PYTHONPATH=src python -m benchmarks.perf.run_bench --quick         # CI smoke
     PYTHONPATH=src python -m benchmarks.perf.run_bench --record-baseline
+    PYTHONPATH=src python -m benchmarks.perf.run_bench --check-docs    # docs audit
 
 The ``--record-baseline`` mode writes ``benchmarks/perf/baseline_seed.json``
 (the reference this repo's speedups are measured against); the default mode
@@ -50,6 +51,21 @@ def next_output_path(root: Path = REPO_ROOT) -> Path:
         if (m := _BENCH_RE.match(p.name))
     ]
     return root / f"BENCH_{max(taken, default=0) + 1}.json"
+
+
+def check_docs(root: Path = REPO_ROOT) -> list[str]:
+    """``BENCH_<n>.json`` files at the repo root that ``docs/BENCHMARKING.md``
+    does not reference by name; the trajectory convention requires every
+    recorded point to be documented (``--check-docs`` fails on any)."""
+    doc = root / "docs" / "BENCHMARKING.md"
+    text = doc.read_text() if doc.exists() else ""
+    return [
+        p.name
+        for p in sorted(root.glob("BENCH_*.json"))
+        # word-boundary match: a documented BENCH_10 must not cover BENCH_1
+        if _BENCH_RE.match(p.name)
+        and not re.search(rf"\b{re.escape(p.stem)}\b", text)
+    ]
 
 
 def git_commit() -> str | None:
@@ -161,6 +177,37 @@ def nas_sparse(bench: str, nprocs: int, stack: str, iterations: int, inner=None)
         "pb_events": probes.total("piggyback_events_sent"),
         "pb_bytes": probes.total("piggyback_bytes_sent"),
         "messages": probes.total("app_messages_sent"),
+    }
+
+
+def nas_noel_scan(bench: str, nprocs: int, stack: str, iterations: int, worklist: bool):
+    """Tentpole PR-4 pair: dirty-creator worklist vs full-scan reference.
+
+    No-EL at scale is the regime where the old build loop walked every
+    held creator sequence on every send (O(P) host work per message).  LU's
+    pipelined wavefronts send many small messages per channel per
+    iteration, so most held sequences are quiet between consecutive sends
+    on a channel — exactly what the worklist skips.  Run once per build
+    mode (``pb_build_worklist``): every simulated quantity must be
+    bit-identical between the pair; only ``seqs_scanned`` (host-side scan
+    work, surfaced via ``ProcessProbes.pb_build_seqs_scanned``) may differ,
+    and the worklist side must scan ≥5× fewer sequences.
+    """
+    from repro.experiments.common import run_nas
+    from repro.runtime.config import ClusterConfig
+
+    cfg = ClusterConfig().with_overrides(
+        pb_cost_model="sparse", pb_build_worklist=worklist
+    )
+    result, _info = run_nas(bench, "A", nprocs, stack, iterations=iterations, config=cfg)
+    probes = result.probes
+    return result.events_executed, {
+        "events": result.events_executed,
+        "sim_time": round(result.sim_time, 9),
+        "pb_events": probes.total("piggyback_events_sent"),
+        "pb_bytes": probes.total("piggyback_bytes_sent"),
+        "messages": probes.total("app_messages_sent"),
+        "seqs_scanned": probes.total("pb_build_seqs_scanned"),
     }
 
 
@@ -279,6 +326,14 @@ def scenarios(quick: bool) -> dict:
             "nas_cg256_el16_tree": lambda: nas_sharded_el(
                 "cg", 256, "vcausal", 1, 16, "tree", inner=3
             ),
+            # quick variant of the worklist pair drops to 64 ranks (LU has
+            # no inner-loop truncation knob; 256-rank LU takes ~10 s)
+            "nas_lu256_noel_worklist": lambda: nas_noel_scan(
+                "lu", 64, "vcausal-noel", 1, worklist=True
+            ),
+            "nas_lu256_noel_fullscan": lambda: nas_noel_scan(
+                "lu", 64, "vcausal-noel", 1, worklist=False
+            ),
         }
     return {
         "engine_chain": lambda: engine_chain(8, 25_000),
@@ -294,6 +349,12 @@ def scenarios(quick: bool) -> dict:
         ),
         "nas_cg256_el16_tree": lambda: nas_sharded_el(
             "cg", 256, "vcausal", 1, 16, "tree"
+        ),
+        "nas_lu256_noel_worklist": lambda: nas_noel_scan(
+            "lu", 256, "vcausal-noel", 1, worklist=True
+        ),
+        "nas_lu256_noel_fullscan": lambda: nas_noel_scan(
+            "lu", 256, "vcausal-noel", 1, worklist=False
         ),
     }
 
@@ -383,7 +444,24 @@ def main(argv=None) -> int:
         help="BENCH json path (default: next unused BENCH_<n>.json at the "
         "repo root; quick mode writes none)",
     )
+    ap.add_argument(
+        "--check-docs",
+        action="store_true",
+        help="run no scenarios; fail if any BENCH_<n>.json at the repo root "
+        "is not referenced in docs/BENCHMARKING.md",
+    )
     args = ap.parse_args(argv)
+    if args.check_docs:
+        missing = check_docs()
+        if missing:
+            print(
+                "BENCH files not referenced in docs/BENCHMARKING.md: "
+                + ", ".join(missing),
+                file=sys.stderr,
+            )
+            return 1
+        print("all BENCH_<n>.json files are referenced in docs/BENCHMARKING.md")
+        return 0
     repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
     repeats = max(1, repeats)
 

@@ -38,6 +38,28 @@ def test_quick_mode_runs_in_seconds_and_is_deterministic():
     assert tree["sync_messages"] == tree["sync_rounds"] * 2 * 15
     # the point of the tree topology: O(shards) not O(shards²) per round
     assert tree["sync_messages"] < multicast["sync_messages"]
+    # ... and the dirty-creator worklist pair: identical simulated results,
+    # far fewer creator sequences scanned on the worklist side
+    wl = results["nas_lu256_noel_worklist"]["checksum"]
+    fs = results["nas_lu256_noel_fullscan"]["checksum"]
+    sim_only = lambda c: {k: v for k, v in c.items() if k != "seqs_scanned"}
+    assert sim_only(wl) == sim_only(fs)
+    assert fs["seqs_scanned"] >= 5 * wl["seqs_scanned"]
+
+
+def test_check_docs_flags_unreferenced_bench_files(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "BENCHMARKING.md").write_text("history: BENCH_1, BENCH_20")
+    (tmp_path / "BENCH_1.json").write_text("{}")
+    (tmp_path / "BENCH_2.json").write_text("{}")  # BENCH_20 must not cover it
+    (tmp_path / "BENCH_20.json").write_text("{}")
+    assert run_bench.check_docs(tmp_path) == ["BENCH_2.json"]
+
+
+def test_check_docs_passes_on_this_repo():
+    """Every recorded BENCH file must be documented in BENCHMARKING.md."""
+    assert run_bench.check_docs() == []
+    assert run_bench.main(["--check-docs"]) == 0
 
 
 def test_next_output_path_derives_index(tmp_path):

@@ -27,7 +27,7 @@ never wrong, because stable events are excluded from piggybacks anyway).
 from __future__ import annotations
 
 from repro.core.bounds import BoundVector
-from repro.core.events import Determinant, EventSequence, StableVector
+from repro.core.events import Determinant, EventSequence, GrowthLog, StableVector
 
 
 class AntecedenceGraph:
@@ -40,13 +40,28 @@ class AntecedenceGraph:
         self.lamport: dict[tuple[int, int], int] = {}
         #: maintained vertex count (len() is on the per-message cost path)
         self._size = 0
+        #: dirty-creator worklist backing: creators grown since any given
+        #: channel cursor (see VProtocol._build_candidates); a creator
+        #: whose tick is at or below a channel's cursor is clean for that
+        #: channel and need not be scanned when building for it
+        self.growth = GrowthLog()
+        #: accept-path merge counters, mirrored into probes by the
+        #: protocols: whole runs consumed via the O(1) classification vs
+        #: determinants merged one by one through the fallback path
+        self.run_merges = 0
+        self.det_merges = 0
 
     # ------------------------------------------------------------------ #
 
     def _seq(self, creator: int) -> EventSequence:
         seq = self.seqs.get(creator)
         if seq is None:
-            seq = self.seqs[creator] = EventSequence(creator)
+            seq = self._new_seq(creator)
+        return seq
+
+    def _new_seq(self, creator: int) -> EventSequence:
+        seq = self.seqs[creator] = EventSequence(creator)
+        self.growth.register(creator)
         return seq
 
     def __contains__(self, event_id: tuple[int, int]) -> bool:
@@ -72,7 +87,7 @@ class AntecedenceGraph:
         creator = det.creator
         seq = self.seqs.get(creator)
         if seq is None:
-            seq = self.seqs[creator] = EventSequence(creator)
+            seq = self._new_seq(creator)
         clock = det.clock
         if clock <= seq.pruned_upto:
             return False  # stable (possibly compacted away): never re-admit
@@ -87,29 +102,35 @@ class AntecedenceGraph:
         cross = lamport.get((det.sender, det.dep), 0) if det.dep > 0 else 0
         lamport[(creator, clock)] = 1 + max(chain, cross)
         self._size += 1
+        self.growth.mark_grown(creator)
         return True
 
     def add_run(self, dets) -> int:
         """Insert one creator run (clock-ascending); returns vertices added.
 
         Equivalent to calling :meth:`add` per determinant.  The factored
-        piggyback accept path hands over whole creator runs, so the two
-        frequent cases — every event new, every event already present —
-        skip the per-event sequence probes.
+        piggyback accept path — and, since the LogOn run table, the flat
+        one too — hands over whole creator runs, so the two frequent cases
+        — every event new, every event already present — skip the
+        per-event sequence probes.
         """
         first = dets[0]
         creator = first.creator
         seq = self.seqs.get(creator)
         if seq is None:
-            seq = self.seqs[creator] = EventSequence(creator)
+            seq = self._new_seq(creator)
         count = len(dets)
         split = seq.new_run_offset(first.clock, dets[-1].clock, count)
         if split is None:
+            # unclassifiable run (holes / partial overlap): per-determinant
+            # fallback; add() marks growth itself
+            self.det_merges += count
             added = 0
             for det in dets:
                 if self.add(det):
                     added += 1
             return added
+        self.run_merges += 1
         if split == count:
             return 0  # whole run already present
         new = dets[split:] if split else dets
@@ -121,6 +142,7 @@ class AntecedenceGraph:
             cross = lamport.get((det.sender, det.dep), 0) if det.dep > 0 else 0
             lamport[(creator, clock)] = 1 + max(chain, cross)
         self._size += n
+        self.growth.mark_grown(creator)
         return n
 
     def prune(self, stable: StableVector) -> int:
@@ -182,6 +204,7 @@ class AntecedenceGraph:
         self,
         known: BoundVector,
         stable: StableVector,
+        candidates: list[int] | None = None,
     ) -> tuple[list[Determinant], int, list[tuple[int, int, int]]]:
         """Events not covered by ``known`` or the stable vector.
 
@@ -190,6 +213,12 @@ class AntecedenceGraph:
         ``known`` is raised in place over everything selected — every
         selected creator tail runs to the end of its sequence, so the new
         bound is that sequence's max clock.
+
+        ``candidates`` restricts the scan to the given creators (the
+        dirty-creator worklist, already in chain-creation order); ``None``
+        scans every held chain.  A candidate list that is a superset of
+        the creators with unknown events selects exactly what the full
+        scan would.
         """
         events: list[Determinant] = []
         visits = 0
@@ -197,7 +226,12 @@ class AntecedenceGraph:
         kdata = known.data
         kget = kdata.get
         sv = stable.view()
-        for creator, seq in self.seqs.items():
+        if candidates is None:
+            items = self.seqs.items()
+        else:
+            seqs = self.seqs
+            items = [(c, seqs[c]) for c in candidates]
+        for creator, seq in items:
             lo = kget(creator, 0)
             s = sv[creator]
             if s > lo:
@@ -242,3 +276,7 @@ class AntecedenceGraph:
         }
         self._size = self.scan_size()
         self.lamport = dict(state["lamport"])
+        # every restored chain counts as freshly grown, so the first build
+        # on each channel after a restore scans them all (see
+        # GrowthLog.repopulate; protocols also reset their channel cursors)
+        self.growth.repopulate(self.seqs)

@@ -348,6 +348,48 @@ class EventSequence:
         return seq
 
 
+class GrowthLog:
+    """Recency-ordered creator growth log backing the dirty-creator
+    worklists (consumed by ``VProtocol._build_candidates``).
+
+    ``order`` maps creator -> monotone tick of its last growth; growing a
+    creator pops and re-appends it, so the creators grown after any saved
+    cursor are exactly the suffix of entries with a larger tick.
+    ``seq_order`` records sequence-creation order, the iteration order a
+    full scan would use — worklists re-sort into it so reduced scans stay
+    byte-identical to scan-everything builds.
+    """
+
+    __slots__ = ("order", "counter", "seq_order")
+
+    def __init__(self):
+        self.order: dict[int, int] = {}
+        self.counter = 0
+        self.seq_order: dict[int, int] = {}
+
+    def register(self, creator: int) -> None:
+        """Record a newly created sequence's position in the scan order."""
+        self.seq_order[creator] = len(self.seq_order)
+
+    def mark_grown(self, creator: int) -> None:
+        """Move ``creator`` to the end of the log (O(1))."""
+        order = self.order
+        order.pop(creator, None)
+        self.counter += 1
+        order[creator] = self.counter
+
+    def repopulate(self, creators: Iterable[int]) -> None:
+        """Reset and mark every creator freshly grown (checkpoint restore:
+        an empty log after a restore would mark everything clean and the
+        next build would ship a stale, under-full piggyback)."""
+        self.order = {}
+        self.counter = 0
+        self.seq_order = {}
+        for creator in creators:
+            self.register(creator)
+            self.mark_grown(creator)
+
+
 class StableVector:
     """Per-creator stable clocks acknowledged by the Event Logger.
 

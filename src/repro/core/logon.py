@@ -14,6 +14,16 @@ Like Manetho, LogOn maintains an antecedence graph, but it additionally
   is inserted, so no re-linking pass is needed (cheaper than Manetho).
 * The partial order makes factoring by creator impossible, so each wire
   event carries its creator rank (16 bytes vs 12, paper §III-C).
+
+Run table: maximal same-creator stretches of the linear extension are
+clock-ascending chain segments, so ``build_piggyback`` records them as a
+``(creator, start, stop)`` run table (``Piggyback.runs``) and
+``accept_piggyback`` merges run-at-a-time through
+:meth:`~repro.core.antecedence.AntecedenceGraph.add_run` instead of one
+graph probe per determinant.  The table is free on the wire: boundaries
+are implicit in the flat format because every event already carries its
+creator rank, so the 16-byte accounting above is unchanged.  See
+``docs/PROTOCOLS.md`` for the full wire-format and accept-path contract.
 """
 
 from __future__ import annotations
@@ -23,7 +33,7 @@ from math import log2
 from repro.core.antecedence import AntecedenceGraph
 from repro.core.bounds import BoundVector
 from repro.core.events import Determinant
-from repro.core.piggyback import Piggyback, flat_bytes
+from repro.core.piggyback import Piggyback, creator_runs, flat_bytes
 from repro.core.protocol_base import VProtocol
 
 
@@ -63,14 +73,19 @@ class LogOnProtocol(VProtocol):
         )
         if start > known[dst]:
             visits = self.graph.raise_knowledge((dst, start), known, self.stable)
-        # select_unknown raises known in place over everything selected
-        events, scan, _runs = self.graph.select_unknown(known, self.stable)
+        # select_unknown raises known in place over everything selected;
+        # the dirty-creator worklist restricts the scan to chains grown
+        # since the last build for dst (clean chains contribute nothing)
+        graph = self.graph
+        candidates = self._build_candidates(dst, graph.growth, len(graph.seqs))
+        events, scan, _runs = graph.select_unknown(known, self.stable, candidates)
         # reorder into a linear extension of the causal order (the defining
         # LogOn step; n log n)
         ordered = self.graph.topological(events)
         n = len(ordered)
         reorder = n * max(1.0, log2(n)) * cfg.cost_logon_reorder_s if n else 0.0
-        # sparse mode charges the held chains actually scanned, not nprocs
+        # sparse mode charges the held chains, not nprocs; the charge is
+        # worklist-independent (simulated results must not change)
         cost = (
             cfg.cost_piggyback_fixed_s
             + self._pb_send_scan_cost(len(self.graph.seqs))
@@ -81,10 +96,17 @@ class LogOnProtocol(VProtocol):
         )
         self.probes.pb_send_ops += visits + scan + n
         self.probes.pb_send_time_s += cost
+        # Run table over the linear extension: maximal same-creator
+        # stretches of the partial order are clock-ascending chain
+        # segments, so the receiver can merge them run-at-a-time.  The
+        # table costs nothing on the wire — boundaries are implicit in the
+        # flat format because every event already carries its creator rank
+        # (the 16-byte §III-C accounting is unchanged).
         return Piggyback(
             events=tuple(ordered),
             nbytes=flat_bytes(ordered, self.config),
             build_cost_s=cost,
+            runs=tuple(creator_runs(ordered)),
         )
 
     def on_local_event(self, det: Determinant) -> None:
@@ -95,23 +117,36 @@ class LogOnProtocol(VProtocol):
         cfg = self.config
         known = self._known(src).data
         kget = known.get
+        graph = self.graph
+        events = pb.events
         new = 0
-        for det in pb.events:
-            if self.graph.add(det):
-                new += 1
-            if det.clock > kget(det.creator, 0):
-                known[det.creator] = det.clock
+        # the run table segments the linear extension into clock-ascending
+        # chain runs; consume run-at-a-time (batch append, O(1) duplicate
+        # skip) exactly like the factored formats, instead of one graph
+        # probe per determinant.  Within a run the creator's clocks ascend
+        # and across runs of the same creator later runs carry later
+        # clocks (chain order is causal order), so per-run knowledge
+        # updates land on the same bounds the per-determinant walk did.
+        runs = pb.runs or creator_runs(events)
+        r0, d0 = graph.run_merges, graph.det_merges
+        for creator, i, j in runs:
+            new += graph.add_run(events[i:j])
+            last = events[j - 1].clock
+            if last > kget(creator, 0):
+                known[creator] = last
+        self.probes.pb_accept_runs += graph.run_merges - r0
+        self.probes.pb_accept_fallback_dets += graph.det_merges - d0
         if dep > kget(src, 0):
             known[src] = dep
         if dep > self.peer_clock_seen.get(src, 0):
             self.peer_clock_seen[src] = dep
-        # sparse mode: the flat wire format has no run table, so the touched
-        # knowledge entries are the distinct creators plus src's own (the
-        # set is only materialized when the sparse model will charge for it)
+        # sparse mode: the touched knowledge entries are the distinct
+        # creators plus src's own (the set is only materialized when the
+        # sparse model will charge for it)
         touched = (
             0
             if self._recv_scan_dense is not None
-            else len({det.creator for det in pb.events}) + 1
+            else len({r[0] for r in runs}) + 1
         )
         # single forward pass: the partial order guarantees predecessors
         # are already present, so no re-linking pass is needed
@@ -156,3 +191,8 @@ class LogOnProtocol(VProtocol):
         }
         self.peer_clock_seen = dict(state["peer_clock_seen"])
         self.stable.update(state["stable"])
+        # the fresh graph re-marked every restored chain dirty; the channel
+        # cursors must restart with it, or an in-place restore would leave
+        # stale cursors above the new growth ticks and mark everything
+        # clean — the under-full-piggyback bug the worklist must not have
+        self._chan_synced = {}

@@ -70,11 +70,16 @@ class ManethoProtocol(VProtocol):
         if start > known[dst]:
             visits += self.graph.raise_knowledge((dst, start), known, self.stable)
         # select_unknown raises known in place: everything piggybacked is
-        # now known by dst
-        events, scan, runs = self.graph.select_unknown(known, self.stable)
+        # now known by dst.  The dirty-creator worklist restricts the scan
+        # to chains grown since the last build for dst; clean chains are
+        # already covered by the knowledge bound and contribute nothing.
+        graph = self.graph
+        candidates = self._build_candidates(dst, graph.growth, len(graph.seqs))
+        events, scan, runs = graph.select_unknown(known, self.stable, candidates)
         visits += scan
         n = len(events)
-        # sparse mode charges the held chains actually scanned, not nprocs
+        # sparse mode charges the held chains, not nprocs; the charge is
+        # worklist-independent (simulated results must not change)
         cost = (
             cfg.cost_piggyback_fixed_s
             + self._pb_send_scan_cost(len(self.graph.seqs))
@@ -106,11 +111,14 @@ class ManethoProtocol(VProtocol):
         runs = pb.runs or creator_runs(events)
         # the factored wire format groups events into clock-ascending
         # creator runs; merge run-at-a-time (see AntecedenceGraph.add_run)
+        r0, d0 = graph.run_merges, graph.det_merges
         for creator, i, j in runs:
             new += graph.add_run(events[i:j])
             last = events[j - 1].clock
             if last > kget(creator, 0):
                 known[creator] = last
+        self.probes.pb_accept_runs += graph.run_merges - r0
+        self.probes.pb_accept_fallback_dets += graph.det_merges - d0
         dup = total - new
         if dep > kget(src, 0):
             known[src] = dep
@@ -163,3 +171,8 @@ class ManethoProtocol(VProtocol):
         }
         self.peer_clock_seen = dict(state["peer_clock_seen"])
         self.stable.update(state["stable"])
+        # the fresh graph re-marked every restored chain dirty; the channel
+        # cursors must restart with it, or an in-place restore would leave
+        # stale cursors above the new growth ticks and mark everything
+        # clean — the under-full-piggyback bug the worklist must not have
+        self._chan_synced = {}

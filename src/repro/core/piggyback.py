@@ -11,7 +11,10 @@ Two encodings exist in the paper:
   creators, so factoring is impossible; every event carries its creator
   rank and costs 16 bytes.  "For the same number of events to piggyback,
   the actual size in bytes of data added to the message is higher for
-  LogOn."
+  LogOn."  A run table over the maximal same-creator stretches of the
+  partial order still rides along as :attr:`Piggyback.runs` (implicit in
+  the flat stream, zero wire bytes) so the accept path merges
+  run-at-a-time.
 
 Byte sizes are configurable through :class:`~repro.runtime.config.ClusterConfig`;
 the defaults match 4-byte rank/clock/ssn fields.
@@ -61,10 +64,14 @@ class Piggyback:
     #: graph traversal, charged to the sender before the wire)
     build_cost_s: float = 0.0
     #: creator-run boundaries of ``events`` as ``(creator, start, stop)``
-    #: index triples — the factored wire format's group table.  Builders
-    #: that assemble events creator-by-creator record it for free, sparing
-    #: the accept path a per-event re-scan; empty means "not precomputed"
-    #: (accept falls back to :func:`creator_runs`).
+    #: index triples.  For the factored formats this is the wire format's
+    #: group table, recorded for free by builders that assemble events
+    #: creator-by-creator; for the flat LogOn format it is the run table
+    #: over the linear extension (boundaries are implicit in the flat
+    #: stream — every event carries its creator — so it adds no wire
+    #: bytes).  Either way the accept path consumes whole clock-ascending
+    #: runs instead of re-scanning per event; empty means "not
+    #: precomputed" (accept falls back to :func:`creator_runs`).
     runs: tuple[tuple[int, int, int], ...] = ()
 
     @property

@@ -75,6 +75,14 @@ class VProtocol:
         else:
             self._send_scan_dense = None
             self._recv_scan_dense = None
+        #: dirty-creator worklist (see ClusterConfig.pb_build_worklist):
+        #: per-peer cursor into the protocol's growth log.  A creator is
+        #: "dirty" for a channel when its sequence grew after the last
+        #: build on that channel; clean creators cannot contribute events
+        #: (their channel/knowledge bound already covers their max clock),
+        #: so the build loop skips them without touching their sequences.
+        self._worklist_enabled = config.pb_build_worklist
+        self._chan_synced: dict[int, int] = {}
 
     def bind(self, daemon: "Vdaemon") -> None:
         self.daemon = daemon
@@ -92,6 +100,43 @@ class VProtocol:
         if flat is not None:
             return flat
         return self.config.cost_pb_recv_per_entry_s * touched
+
+    def _build_candidates(self, dst: int, growth, held: int) -> Optional[list[int]]:
+        """Creators whose sequences the build loop for ``dst`` must scan.
+
+        Returns ``None`` on the full-scan reference path
+        (``pb_build_worklist=False``); otherwise the creators grown since
+        the last build on this channel, sorted into sequence-creation
+        order — the full scan's iteration order restricted to dirty
+        creators, which is what keeps piggybacks byte-identical between
+        the two paths (clean creators contribute nothing to a full scan).
+
+        ``growth`` is the protocol's :class:`~repro.core.events.GrowthLog`:
+        growing a creator moves it to the end with a fresh monotone tick,
+        so the dirty set is exactly the suffix of entries with a tick
+        above this channel's cursor (collected by one reverse walk).
+        Marking growth is O(1) and collection is O(dirty), independent of
+        both the cluster size and the number of held sequences.
+
+        ``held`` is the full scan's sequence count; the
+        ``pb_build_seqs_scanned`` probe is charged here for whichever
+        path is taken.
+        """
+        if not self._worklist_enabled:
+            self.probes.pb_build_seqs_scanned += held
+            return None
+        cursor = self._chan_synced.get(dst, 0)
+        self._chan_synced[dst] = growth.counter
+        order = growth.order
+        dirty: list[int] = []
+        for creator in reversed(order):
+            if order[creator] <= cursor:
+                break
+            dirty.append(creator)
+        if len(dirty) > 1:
+            dirty.sort(key=growth.seq_order.__getitem__)
+        self.probes.pb_build_seqs_scanned += len(dirty)
+        return dirty
 
     # ------------------------------------------------------------------ #
     # fault-free hooks

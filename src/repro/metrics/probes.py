@@ -37,6 +37,20 @@ class ProcessProbes:
     pb_send_ops: int = 0                # graph visits + events serialized
     pb_recv_ops: int = 0
 
+    # -- build/accept loop mechanics (host-side work, not simulated cost) --
+    # Creator sequences examined by build_piggyback.  The full-scan
+    # reference path counts every held sequence per send; the dirty-creator
+    # worklist (ClusterConfig.pb_build_worklist) counts only the sequences
+    # that grew since the last send on that channel.  Both modes charge the
+    # same simulated cost, so this counter is the evidence of the worklist
+    # win without entering any determinism checksum comparison.
+    pb_build_seqs_scanned: int = 0
+    # Accept-path merge granularity: whole clock-ascending creator runs
+    # consumed via the O(1) run classification vs determinants merged one
+    # by one through the fallback path (holes / partial overlaps).
+    pb_accept_runs: int = 0
+    pb_accept_fallback_dets: int = 0
+
     # -- event logger --------------------------------------------------- #
     el_events_logged: int = 0
     el_acks_received: int = 0

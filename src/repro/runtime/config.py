@@ -86,6 +86,16 @@ class ClusterConfig:
     cost_pb_send_per_entry_s: float = 1.5e-6   # × touched entries, on build
     cost_pb_recv_per_entry_s: float = 0.6e-6   # × touched entries, on merge
     el_ack_entry_bytes: int = 8                # (rank, clock) pair, sparse acks
+    # Build-loop strategy.  True (default) selects the dirty-creator
+    # worklist: each protocol tracks, per peer channel, the creator
+    # sequences that grew since the last send on that channel, and
+    # ``build_piggyback`` scans only those instead of every held sequence.
+    # This is a *host wall-clock* optimisation of the simulator itself —
+    # piggyback contents and every simulated cost are bit-identical to the
+    # full scan (property-tested; see docs/PROTOCOLS.md).  False keeps the
+    # scan-everything reference path for A/B benchmarking
+    # (``benchmarks/perf/run_bench.py`` records both).
+    pb_build_worklist: bool = True
     # Memory-pressure term: volatile causal structures that keep growing
     # (the no-EL mode) slow every piggyback operation down — the paper
     # attributes part of the 5-10% no-EL latency penalty to the growing

@@ -1,0 +1,246 @@
+"""Dirty-creator worklist equivalence (PR 4 tentpole).
+
+The worklist build loop (``ClusterConfig.pb_build_worklist``) is a host
+wall-clock optimisation: it must never change *what* is simulated.  These
+tests drive every causal protocol through random send / receive / prune /
+checkpoint-restore interleavings twice — worklist and full-scan reference
+— and assert byte-identical piggybacks (events, order, run table, bytes)
+and identical charged costs at every step, plus the two regressions the
+refactor is most likely to break:
+
+* a checkpoint restore must repopulate the dirty sets, or the first
+  post-restore piggyback on a previously-synced channel ships stale
+  (under-full) causality and orphans the receiver;
+* the LogOn accept path must consume whole runs on the contiguous-run
+  fast path (probe-counted), not merge per determinant.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster, ClusterConfig, OneShotFaults, PeriodicFaults
+from repro.core.events import Determinant
+from repro.core.logon import LogOnProtocol
+from repro.core.manetho import ManethoProtocol
+from repro.core.vcausal import VcausalProtocol
+from repro.metrics.probes import ProcessProbes
+from tests.conftest import ring_app, run_ring
+
+CFG_WORKLIST = ClusterConfig().with_overrides(pb_build_worklist=True)
+CFG_FULLSCAN = ClusterConfig().with_overrides(pb_build_worklist=False)
+PROTOCOLS = [VcausalProtocol, ManethoProtocol, LogOnProtocol]
+
+
+class TwinWorlds:
+    """Drive one protocol class twice — worklist and full-scan reference —
+    through an identical schedule, asserting piggyback equivalence at every
+    send."""
+
+    def __init__(self, cls, n: int):
+        self.cls = cls
+        self.n = n
+        self.wl = [cls(r, n, CFG_WORKLIST, ProcessProbes(rank=r)) for r in range(n)]
+        self.fs = [cls(r, n, CFG_FULLSCAN, ProcessProbes(rank=r)) for r in range(n)]
+        self.clocks = [0] * n
+        self.ssn: dict[tuple[int, int], int] = {}
+        self.stable = [0] * n
+
+    def send(self, src: int, dst: int):
+        pb_wl = self.wl[src].build_piggyback(dst)
+        pb_fs = self.fs[src].build_piggyback(dst)
+        # byte-identical: same events in the same order, same run table,
+        # same wire bytes, same charged simulated cost
+        assert pb_wl.events == pb_fs.events
+        assert pb_wl.runs == pb_fs.runs
+        assert pb_wl.nbytes == pb_fs.nbytes
+        assert pb_wl.build_cost_s == pb_fs.build_cost_s
+        ssn = self.ssn.get((src, dst), 0) + 1
+        self.ssn[(src, dst)] = ssn
+        dep = self.clocks[src]
+        cost_wl = self.wl[dst].accept_piggyback(src, pb_wl, dep)
+        cost_fs = self.fs[dst].accept_piggyback(src, pb_fs, dep)
+        assert cost_wl == cost_fs
+        self.clocks[dst] += 1
+        det = Determinant(dst, self.clocks[dst], src, ssn, dep)
+        self.wl[dst].on_local_event(det)
+        self.fs[dst].on_local_event(det)
+        assert self.wl[dst].events_held() == self.fs[dst].events_held()
+        return pb_wl
+
+    def ack(self, advance_to: dict[int, int], recipients: list[int]):
+        for c, k in advance_to.items():
+            self.stable[c] = max(self.stable[c], min(k, self.clocks[c]))
+        for r in recipients:
+            self.wl[r].on_el_ack(list(self.stable))
+            self.fs[r].on_el_ack(list(self.stable))
+
+    def restore(self, rank: int, in_place: bool = False):
+        """Checkpoint-restore ``rank`` mid-stream in both worlds (the
+        worklist side must repopulate its dirty sets from the image).
+
+        ``in_place`` restores into the *used* instance instead of a fresh
+        one — the case where stale per-channel worklist cursors would
+        out-tick the repopulated growth log and mark everything clean.
+        """
+        for protos, cfg in ((self.wl, CFG_WORKLIST), (self.fs, CFG_FULLSCAN)):
+            state = copy.deepcopy(protos[rank].export_state())
+            if in_place:
+                protos[rank].restore_state(state)
+                continue
+            fresh = self.cls(rank, self.n, cfg, ProcessProbes(rank=rank))
+            fresh.restore_state(state)
+            protos[rank] = fresh
+
+
+@pytest.mark.parametrize("cls", PROTOCOLS)
+@settings(max_examples=50, deadline=None)
+@given(data=st.data())
+def test_worklist_piggybacks_byte_identical_to_full_scan(cls, data):
+    """Random send/receive/prune/restore interleavings: the worklist and
+    full-scan paths must stay bit-for-bit equivalent throughout."""
+    n = data.draw(st.integers(2, 4), label="nprocs")
+    world = TwinWorlds(cls, n)
+    steps = data.draw(st.integers(1, 50), label="steps")
+    for _ in range(steps):
+        kind = data.draw(
+            st.sampled_from(["send", "send", "send", "send", "ack", "restore"])
+        )
+        if kind == "send":
+            src = data.draw(st.integers(0, n - 1))
+            dst = data.draw(st.integers(0, n - 1).filter(lambda r: r != src))
+            world.send(src, dst)
+        elif kind == "ack":
+            advance = {
+                c: data.draw(st.integers(0, max(world.clocks[c], 0)))
+                for c in range(n)
+            }
+            recips = data.draw(
+                st.lists(st.integers(0, n - 1), unique=True, max_size=n)
+            )
+            world.ack(advance, recips)
+        else:
+            world.restore(
+                data.draw(st.integers(0, n - 1), label="victim"),
+                in_place=data.draw(st.booleans(), label="in_place"),
+            )
+
+
+@pytest.mark.parametrize("in_place", [False, True])
+@pytest.mark.parametrize("cls", PROTOCOLS)
+def test_restore_repopulates_dirty_sets(cls, in_place):
+    """The stale-piggyback regression: after traffic has marked a channel
+    clean, a checkpoint-restore must re-dirty every restored sequence —
+    otherwise the next build on that channel ships an under-full piggyback
+    (here: empty) while the reference path ships the held causality.  The
+    in-place variant additionally requires the per-channel cursors to
+    reset: the repopulated growth log restarts its ticks at 1, so a
+    surviving cursor would out-tick every creator and mark them clean."""
+    n = 3
+    world = TwinWorlds(cls, n)
+    for _ in range(4):
+        world.send(0, 1)
+        world.send(1, 0)
+        world.send(1, 2)
+    # channel 0->1 is fully synced at this point; restore rank 0 from its
+    # own image and immediately build for rank 2 (a fresh channel: every
+    # unstable event must ship) and for rank 1 (the synced channel)
+    world.restore(0, in_place=in_place)
+    pb_fresh = world.send(0, 2)
+    assert pb_fresh.n_events > 0  # restored state must actually ship
+    world.send(2, 0)
+    world.send(0, 1)  # the synced channel stays equivalent post-restore
+
+
+@pytest.mark.parametrize("cls", PROTOCOLS)
+def test_worklist_scans_fewer_sequences(cls):
+    """The point of the refactor: on a quiet channel the worklist build
+    touches only grown sequences, while the reference rescans every held
+    one; both ship the same (empty) piggyback."""
+    n = 4
+    world = TwinWorlds(cls, n)
+    for _ in range(6):
+        world.send(1, 0)
+        world.send(2, 0)
+        world.send(3, 0)
+    # rank 0 now holds sequences for every creator; repeated sends on the
+    # same quiet channel scan nothing new after the first
+    for _ in range(5):
+        world.send(0, 1)
+    wl = world.wl[0].probes.pb_build_seqs_scanned
+    fs = world.fs[0].probes.pb_build_seqs_scanned
+    assert wl < fs
+
+
+def test_logon_accept_consumes_runs_not_determinants():
+    """Acceptance criterion: on the contiguous-run fast path the LogOn
+    accept loop merges whole runs (pb_accept_runs) with zero
+    per-determinant fallback merges (pb_accept_fallback_dets)."""
+    n = 3
+    world = TwinWorlds(LogOnProtocol, n)
+    for _ in range(8):
+        world.send(0, 1)
+        world.send(1, 2)
+        world.send(2, 0)
+    for proto in world.wl:
+        if proto.probes.pb_recv_ops:
+            assert proto.probes.pb_accept_runs > 0
+        assert proto.probes.pb_accept_fallback_dets == 0
+    # and the run table itself must ride on every LogOn piggyback
+    pb = world.send(0, 2)
+    from repro.core.piggyback import creator_runs, flat_bytes
+
+    assert list(pb.runs) == creator_runs(pb.events)
+    assert pb.nbytes == flat_bytes(pb.events, CFG_WORKLIST)  # wire unchanged
+
+
+# --------------------------------------------------------------------- #
+# full-cluster regressions (checkpoint + kill/replay through the daemon)
+
+def _ring_results(stack: str, config: ClusterConfig, fault_plan=None):
+    result = run_ring(
+        stack,
+        nprocs=4,
+        iterations=25,
+        config=config,
+        checkpoint_policy="round-robin",
+        checkpoint_interval_s=0.03,
+        fault_plan=fault_plan,
+    )
+    assert result.finished
+    return result
+
+
+@pytest.mark.parametrize("stack", ["vcausal", "vcausal-noel", "manetho-noel", "logon-noel"])
+def test_kill_replay_identical_across_build_modes(stack):
+    """Kill/replay at a 10 ms fault period with checkpoints: the worklist
+    run must match the full-scan reference (results, simulated time,
+    piggyback totals) and the fault-free baseline results.  A restore that
+    forgot to re-dirty the worklist would diverge here: the restarted rank
+    would piggyback stale causality into the replay traffic."""
+    baseline = _ring_results(stack, CFG_WORKLIST).results
+    # 10 ms period, starting after the first checkpoint waves have
+    # committed so at least one recovery restores a real snapshot (the
+    # restore_state path) rather than restarting from scratch
+    plan = PeriodicFaults(per_minute=6000.0, start_s=0.15, max_faults=3)
+    runs = {}
+    for name, cfg in (("worklist", CFG_WORKLIST), ("fullscan", CFG_FULLSCAN)):
+        r = _ring_results(stack, cfg, fault_plan=plan)
+        assert r.probes.total("restarts") >= 1
+        assert r.probes.checkpoints_stored > 0
+        runs[name] = r
+    wl, fs = runs["worklist"], runs["fullscan"]
+    assert wl.results == baseline
+    assert wl.results == fs.results
+    assert wl.sim_time == fs.sim_time
+    for probe in (
+        "piggyback_events_sent",
+        "piggyback_bytes_sent",
+        "app_messages_sent",
+        "replayed_receptions",
+    ):
+        assert wl.probes.total(probe) == fs.probes.total(probe), probe
