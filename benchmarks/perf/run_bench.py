@@ -129,6 +129,41 @@ def engine_fanout(n_events: int):
     }
 
 
+def engine_samestamp(rounds: int, width: int, fan: int = 4, coalesce: bool = True):
+    """Macro-event stress: wide same-timestamp bursts + zero-delay fan-out.
+
+    Every round schedules ``width`` bursts at one shared timestamp (one
+    macro-event bucket on the coalescing engine) and each burst
+    ``call_soon``-spawns ``fan`` leaves (the now-queue).  This is the
+    engine shape the coalescing engine exists for; run with
+    ``coalesce=False`` to record the one-heap-entry-per-event reference
+    wall on identical simulation results (the BENCH coalesced-vs-reference
+    pair)."""
+    from repro.simulator.engine import make_simulator
+
+    sim = make_simulator(coalesce=coalesce)
+    fired = [0]
+
+    def leaf():
+        fired[0] += 1
+
+    def burst():
+        fired[0] += 1
+        call_soon = sim.call_soon
+        for _ in range(fan):
+            call_soon(leaf)
+
+    sim.schedule_bulk(
+        ((r + 1) * 1e-3, burst, ()) for r in range(rounds) for _ in range(width)
+    )
+    sim.run()
+    return sim.events_executed, {
+        "events": sim.events_executed,
+        "fired": fired[0],
+        "now": round(sim.now, 9),
+    }
+
+
 def pingpong(stack: str, reps: int):
     """Fig. 6 ping-pong: daemon + protocol per-message path, 2 ranks."""
     from repro.workloads.netpipe import measure_latency
@@ -156,16 +191,23 @@ def nas(bench: str, nprocs: int, stack: str, iterations: int):
     }
 
 
-def nas_sparse(bench: str, nprocs: int, stack: str, iterations: int, inner=None):
+def nas_sparse(
+    bench: str, nprocs: int, stack: str, iterations: int, inner=None,
+    coalesce: bool = True,
+):
     """Scale scenario: sparse bound vectors + per-entry cost model.
 
-    The 256-rank regime the dense ``× nprocs`` formulas could not credibly
-    reach; ``inner`` truncates CG's inner loop in quick mode.
+    The 256/512-rank regime the dense ``× nprocs`` formulas could not
+    credibly reach; ``inner`` truncates CG's inner loop in quick mode and
+    ``coalesce=False`` selects the reference engine for the
+    coalesced-vs-reference pair (identical checksums required).
     """
     from repro.experiments.common import run_nas
     from repro.runtime.config import ClusterConfig
 
-    cfg = ClusterConfig().with_overrides(pb_cost_model="sparse")
+    cfg = ClusterConfig().with_overrides(
+        pb_cost_model="sparse", engine_coalesce=coalesce
+    )
     result, _info = run_nas(
         bench, "A", nprocs, stack, iterations=iterations, config=cfg,
         app_kwargs={"inner": inner} if inner is not None else None,
@@ -311,10 +353,20 @@ def scenarios(quick: bool) -> dict:
         return {
             "engine_chain": lambda: engine_chain(2, 2_000),
             "engine_fanout": lambda: engine_fanout(10_000),
+            "engine_samestamp": lambda: engine_samestamp(40, 600, 8),
+            "engine_samestamp_reference": lambda: engine_samestamp(
+                40, 600, 8, coalesce=False
+            ),
             "pingpong_vcausal_noel": lambda: pingpong("vcausal-noel", 100),
             "nas_cg8_vcausal_noel": lambda: nas("cg", 8, "vcausal-noel", 2),
             "nas_cg256_vcausal_sparse": lambda: nas_sparse(
                 "cg", 256, "vcausal", 1, inner=3
+            ),
+            "nas_cg256_sparse_engine_ref": lambda: nas_sparse(
+                "cg", 256, "vcausal", 1, inner=3, coalesce=False
+            ),
+            "nas_cg512_vcausal_sparse": lambda: nas_sparse(
+                "cg", 512, "vcausal", 1, inner=1
             ),
             "nas_cg8_vcausal_fault": lambda: nas_fault("cg", 8, "vcausal", 2, 0.25),
             "nas_lu16_el_saturation": lambda: nas_el_saturation(
@@ -338,10 +390,20 @@ def scenarios(quick: bool) -> dict:
     return {
         "engine_chain": lambda: engine_chain(8, 25_000),
         "engine_fanout": lambda: engine_fanout(150_000),
+        "engine_samestamp": lambda: engine_samestamp(80, 800, 8),
+        "engine_samestamp_reference": lambda: engine_samestamp(
+            80, 800, 8, coalesce=False
+        ),
         "pingpong_vcausal_noel": lambda: pingpong("vcausal-noel", 2_000),
         "nas_cg16_vcausal_noel": lambda: nas("cg", 16, "vcausal-noel", 10),
         "nas_lu16_manetho_noel": lambda: nas("lu", 16, "manetho-noel", 6),
         "nas_cg256_vcausal_sparse": lambda: nas_sparse("cg", 256, "vcausal", 1),
+        "nas_cg256_sparse_engine_ref": lambda: nas_sparse(
+            "cg", 256, "vcausal", 1, coalesce=False
+        ),
+        "nas_cg512_vcausal_sparse": lambda: nas_sparse(
+            "cg", 512, "vcausal", 1, inner=3
+        ),
         "nas_cg8_vcausal_fault": lambda: nas_fault("cg", 8, "vcausal", 6, 0.75),
         "nas_lu16_el_saturation": lambda: nas_el_saturation("lu", 16, "vcausal", 6),
         "nas_cg256_el16_multicast": lambda: nas_sharded_el(
@@ -357,6 +419,37 @@ def scenarios(quick: bool) -> dict:
             "lu", 256, "vcausal-noel", 1, worklist=False
         ),
     }
+
+
+# --------------------------------------------------------------------- #
+# profiling
+
+def profile_scenario(name: str, quick: bool, top: int = 20) -> int:
+    """cProfile one scenario and print the ``top`` cumulative functions.
+
+    The profile output is the before/after evidence future perf PRs
+    should quote instead of guessing at hot paths.  Returns an exit code
+    (2 on an unknown scenario name).
+    """
+    import cProfile
+    import pstats
+
+    scens = scenarios(quick)
+    fn = scens.get(name)
+    if fn is None:
+        print(
+            f"unknown scenario {name!r}; choose from: " + ", ".join(sorted(scens)),
+            file=sys.stderr,
+        )
+        return 2
+    profiler = cProfile.Profile()
+    profiler.enable()
+    events, _checksum = fn()
+    profiler.disable()
+    print(f"{name}: {events:,} simulated events ({'quick' if quick else 'full'} size)")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(top)
+    return 0
 
 
 # --------------------------------------------------------------------- #
@@ -450,7 +543,16 @@ def main(argv=None) -> int:
         help="run no scenarios; fail if any BENCH_<n>.json at the repo root "
         "is not referenced in docs/BENCHMARKING.md",
     )
+    ap.add_argument(
+        "--profile",
+        metavar="SCENARIO",
+        default=None,
+        help="cProfile one scenario (full size unless --quick) and print "
+        "the top-20 cumulative functions instead of benchmarking",
+    )
     args = ap.parse_args(argv)
+    if args.profile is not None:
+        return profile_scenario(args.profile, args.quick)
     if args.check_docs:
         missing = check_docs()
         if missing:

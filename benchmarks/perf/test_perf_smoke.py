@@ -28,6 +28,22 @@ def test_quick_mode_runs_in_seconds_and_is_deterministic():
     fault = results["nas_cg8_vcausal_fault"]["checksum"]
     assert fault["recoveries"] == 1
     assert fault["replayed"] > 0
+    # ... as must the macro-event engine paths: the coalesced-vs-reference
+    # NAS pair must be bit-identical in simulation, the 512-rank scenario
+    # must complete, and the same-timestamp/fan-out microbench pair must be
+    # bit-identical with a real coalescing speedup (full-size recorded runs
+    # show >2x; the floor here is loose only to tolerate CI noise)
+    coal = results["nas_cg256_vcausal_sparse"]["checksum"]
+    eref = results["nas_cg256_sparse_engine_ref"]["checksum"]
+    assert coal == eref
+    assert results["nas_cg512_vcausal_sparse"]["checksum"]["messages"] > 0
+    ss = results["engine_samestamp"]
+    ss_ref = results["engine_samestamp_reference"]
+    assert ss["checksum"] == ss_ref["checksum"]
+    assert ss_ref["wall_s"] >= 1.3 * ss["wall_s"], (
+        f"coalesced engine speedup regressed: reference {ss_ref['wall_s']}s "
+        f"vs coalesced {ss['wall_s']}s"
+    )
     # ... as must the EL-saturation and sharded-EL sync-topology paths
     saturation = results["nas_lu16_el_saturation"]["checksum"]
     assert saturation["el_stored"] > 0

@@ -146,7 +146,13 @@ class AntecedenceGraph:
         return n
 
     def prune(self, stable: StableVector) -> int:
-        """Drop vertices made stable by the EL; returns vertices dropped."""
+        """Drop vertices made stable by the EL; returns vertices dropped.
+
+        Scans every chain on purpose: a chain's prune floor is only
+        raised when its window is visited, so the per-ack full scan is
+        what drops stale determinants re-admitted below already-stable
+        clocks on the next ack (see Manetho/LogOn ``on_el_ack``).
+        """
         dropped = 0
         lamport = self.lamport
         for creator, seq in self.seqs.items():

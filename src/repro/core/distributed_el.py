@@ -77,45 +77,75 @@ class EventLoggerShard(EventLogger):
         self.host = shard_host(index)
         #: freshest clocks known for creators owned by *other* shards
         self.global_view = BoundVector()
+        # the merged view (local stable ∪ peer view) is maintained
+        # incrementally on every store/absorb instead of being recomputed
+        # — a full copy + elementwise max — on every single ack
+        self._merged = BoundVector()
+        #: log of merged-view raises, the delta stream behind
+        #: :meth:`absorb_peer_delta`; positions are absolute — the group
+        #: periodically drops prefixes every peer has applied
+        #: (:meth:`EventLoggerGroup._truncate_sync_logs`) and ``None``
+        #: disables logging entirely for topologies that ship full
+        #: vectors (tree) or never sync (a single shard)
+        self._merged_log: Optional[list[tuple[int, int]]] = []
+        #: absolute position of ``_merged_log[0]``
+        self._log_base = 0
+        #: sender shard index -> absolute position already applied
+        self._sync_pos: dict[int, int] = {}
 
     def merged_view(self) -> BoundVector:
         """Authoritative local clocks merged with the peer view."""
-        return self.stable_clock.max_with(self.global_view)
+        return self._merged.copy()
 
     def absorb_peer_vector(self, vector) -> None:
         """Merge a peer shard's vector (sparse or dense form)."""
-        self.global_view.update_max(vector)
+        gv = self.global_view.data
+        merged = self._merged.data
+        log = self._merged_log
+        for creator, clock in (
+            vector.items() if hasattr(vector, "items") else enumerate(vector)
+        ):
+            if clock > gv.get(creator, 0):
+                gv[creator] = clock
+                if clock > merged.get(creator, 0):
+                    merged[creator] = clock
+                    if log is not None:
+                        log.append((creator, clock))
 
-    # override: acks carry the merged global view, and leave from our host
-    def _serve_log(self, src_rank, dets, ack_to, ack_host):
-        self._queued -= 1
-        for det in dets:
-            self._store(det)
-        self.probes.el_determinants_stored += len(dets)
-        vector = self.merged_view()
-        ack_bytes = self.config.el_ack_wire_bytes + self.ack_vector_bytes(vector)
-        self.network.transfer(
-            self.host,
-            ack_host,
-            ack_bytes,
-            lambda: ack_to(vector),
-            extra_latency=self.config.el_ack_delay_s,
-        )
+    def absorb_peer_delta(self, sender: "EventLoggerShard", upto: int) -> None:
+        """Apply the suffix of ``sender``'s merged-raise log we have not
+        seen yet — equivalent to absorbing the full vector the sender's
+        merged view held at log position ``upto`` (sync channels are FIFO,
+        so positions only grow), at O(changes) instead of O(entries)."""
+        pos = self._sync_pos.get(sender.index, 0)
+        if upto <= pos:
+            return
+        self._sync_pos[sender.index] = upto
+        log = sender._merged_log
+        base = sender._log_base
+        gv = self.global_view.data
+        merged = self._merged.data
+        mylog = self._merged_log
+        for i in range(pos - base, upto - base):
+            creator, clock = log[i]
+            if clock > gv.get(creator, 0):
+                gv[creator] = clock
+                if clock > merged.get(creator, 0):
+                    merged[creator] = clock
+                    mylog.append((creator, clock))
 
-    # override: recovery replies leave from our host
-    def fetch_events(self, creator, clock_after, reply_to, reply_host):
-        cfg = self.config
-        dets = [d for d in self.store[creator] if d.clock > clock_after]
-        service = 50e-6 + 1.5e-6 * len(dets)
-        start = max(self.sim.now, self._busy_until)
-        self._busy_until = start + service
-        self.probes.el_busy_time_s += service
-        nbytes = cfg.el_ack_wire_bytes + len(dets) * cfg.event_record_bytes
+    def _note_stable_advance(self, creator: int, clock: int) -> None:
+        merged = self._merged.data
+        if clock > merged.get(creator, 0):
+            merged[creator] = clock
+            log = self._merged_log
+            if log is not None:
+                log.append((creator, clock))
 
-        def _send_reply():
-            self.network.transfer(self.host, reply_host, nbytes, lambda: reply_to(dets))
-
-        self.sim.at(start + service, _send_reply)
+    # override: acks carry the merged global view (service scheduling and
+    # the reply host are inherited — the base logger serves from self.host)
+    def _ack_vector(self):
+        return self._merged.copy()
 
 
 class EventLoggerGroup:
@@ -160,6 +190,13 @@ class EventLoggerGroup:
         ]
         #: vectors pushed to nodes under the broadcast strategy
         self.node_vector_sinks: dict[str, Callable[[list[int]], None]] = {}
+        # merged-raise logs back the delta sync of the strategies whose
+        # shards ship their *own* view (multicast/broadcast/gossip); the
+        # tree forwards the root's view as full vectors and a single
+        # shard never syncs, so their logs are disabled outright
+        if count == 1 or sync_strategy == "tree":
+            for shard in self.shards:
+                shard._merged_log = None
         self.sync_rounds = 0
         self.sync_bytes = 0
         #: shard-to-shard sync messages (excludes broadcast-to-node pushes,
@@ -222,15 +259,41 @@ class EventLoggerGroup:
             self._gossip_round()
         else:
             self._multicast_round()
+        self._truncate_sync_logs()
         self.sim.schedule(self.sync_interval_s, self._sync_tick)
+
+    def _truncate_sync_logs(self, min_drop: int = 4096) -> None:
+        """Drop merged-log prefixes every peer has already applied.
+
+        Receiver positions (`_sync_pos`) are monotone and FIFO channels
+        deliver deltas in send order, so entries below the minimum applied
+        position of all peers can never be read again; dropping them keeps
+        each shard's log bounded by the sync backlog instead of the whole
+        run's raise count.
+        """
+        shards = self.shards
+        for shard in shards:
+            log = shard._merged_log
+            if log is None:
+                continue
+            floor = min(
+                (p._sync_pos.get(shard.index, 0) for p in shards if p is not shard),
+                default=0,
+            )
+            drop = floor - shard._log_base
+            if drop >= min_drop:
+                del log[:drop]
+                shard._log_base = floor
 
     def _multicast_round(self) -> None:
         """All-to-all exchange (``"multicast"``/``"broadcast"``): the
         original strategy, kept bit-identical — O(count²) messages."""
         for shard in self.shards:
-            local = shard.merged_view()
-            vec_bytes = self._vector_wire_bytes(shard, local)
-            # multicast the local array of logical clocks to the other ELs
+            # wire size is that of the full merged snapshot, but peers
+            # absorb the sender's own view as a log delta (bit-identical:
+            # the log suffix reconstructs exactly this snapshot)
+            vec_bytes = self._vector_wire_bytes(shard, shard._merged)
+            upto = shard._log_base + len(shard._merged_log)  # absolute
             for peer in self.shards:
                 if peer is shard:
                     continue
@@ -240,10 +303,13 @@ class EventLoggerGroup:
                     shard.host,
                     peer.host,
                     vec_bytes,
-                    lambda p=peer, v=local.copy(): p.absorb_peer_vector(v),
+                    peer.absorb_peer_delta,
+                    args=(shard, upto),
                 )
             if self.sync_strategy == "broadcast":
-                # and broadcast it to every compute node directly
+                # and broadcast the full snapshot to every compute node
+                # directly (daemons consume plain stable vectors)
+                local = shard.merged_view()
                 for host, sink in self.node_vector_sinks.items():
                     self.node_push_messages += 1
                     self.sync_bytes += vec_bytes
@@ -251,7 +317,8 @@ class EventLoggerGroup:
                         shard.host,
                         host,
                         vec_bytes,
-                        lambda s=sink, v=local.copy(): s(v),
+                        sink,
+                        args=(local,),
                     )
 
     # -- tree: k-ary reduce-then-broadcast over the shards --------------- #
@@ -283,7 +350,7 @@ class EventLoggerGroup:
         self.sync_messages += 1
         self.sync_bytes += vec_bytes
 
-        def _absorb_up(p=parent, v=vector.copy()):
+        def _absorb_up(p=parent, v=vector):  # v is a frozen snapshot
             p.absorb_peer_vector(v)
             pending[p.index] -= 1
             if pending[p.index] == 0:
@@ -299,7 +366,7 @@ class EventLoggerGroup:
             self.sync_messages += 1
             self.sync_bytes += vec_bytes
 
-            def _absorb_down(c=child, v=vector.copy()):
+            def _absorb_down(c=child, v=vector):  # v is a frozen snapshot
                 c.absorb_peer_vector(v)
                 self._tree_send_down(c.index, v)
 
@@ -316,8 +383,10 @@ class EventLoggerGroup:
         # sync_rounds was already incremented for this round: rotate from 0
         base = (self.sync_rounds - 1) * fanout
         for k, shard in enumerate(self.shards):
-            vector = shard.merged_view()
-            vec_bytes = self._vector_wire_bytes(shard, vector)
+            # sizing from the merged snapshot; peers absorb the sender's
+            # own log delta (same equivalence as the multicast round)
+            vec_bytes = self._vector_wire_bytes(shard, shard._merged)
+            upto = shard._log_base + len(shard._merged_log)  # absolute
             for j in range(fanout):
                 offset = 1 + (base + j) % (count - 1)
                 peer = self.shards[(k + offset) % count]
@@ -327,7 +396,8 @@ class EventLoggerGroup:
                     shard.host,
                     peer.host,
                     vec_bytes,
-                    lambda p=peer, v=vector.copy(): p.absorb_peer_vector(v),
+                    peer.absorb_peer_delta,
+                    args=(shard, upto),
                 )
 
     # ------------------------------------------------------------------ #

@@ -26,7 +26,7 @@ from repro.core.bounds import BoundVector
 from repro.core.events import Determinant
 from repro.metrics.probes import ClusterProbes
 from repro.runtime.config import ClusterConfig
-from repro.simulator.engine import Simulator
+from repro.simulator.engine import SerialDrain, Simulator
 from repro.simulator.network import Network
 
 #: host name of the EL's NIC in every deployment
@@ -49,6 +49,8 @@ class EventLogger:
         self.config = config
         self.probes = probes
         self.nprocs = nprocs
+        #: NIC this logger serves from (shards override with their own)
+        self.host = EL_HOST
         #: creator -> clock-ordered stored determinants
         self.store: dict[int, list[Determinant]] = {r: [] for r in range(nprocs)}
         #: creator -> highest contiguous stored clock (sparse: only creators
@@ -56,6 +58,14 @@ class EventLogger:
         self.stable_clock = BoundVector()
         self._busy_until = 0.0
         self._queued = 0
+        # The select loop completes services in strictly increasing
+        # _busy_until order, so one SerialDrain timer carries the whole
+        # service queue on a coalescing engine: heap occupancy stays O(1)
+        # per logger even when the EL saturates and the queue grows
+        # (None = reference path, one heap entry per queued service).
+        self._serve_drain: Optional[SerialDrain] = (
+            SerialDrain(sim) if sim.coalesced else None
+        )
 
     def ack_vector_bytes(self, vector: BoundVector) -> int:
         """Wire size of a stable-vector payload (without the fixed header).
@@ -90,9 +100,18 @@ class EventLogger:
             self.probes.el_peak_queue = self._queued
         service = cfg.el_service_time_s * max(1, len(dets))
         start = max(self.sim.now, self._busy_until)
-        self._busy_until = start + service
+        done = start + service
+        self._busy_until = done
         self.probes.el_busy_time_s += service
-        self.sim.at(start + service, self._serve_log, src_rank, dets, ack_to, ack_host)
+        drain = self._serve_drain
+        if drain is not None:
+            drain.enqueue(done, self._serve_log, src_rank, dets, ack_to, ack_host)
+        else:
+            self.sim.post(done, self._serve_log, src_rank, dets, ack_to, ack_host)
+
+    def _ack_vector(self) -> BoundVector:
+        """Stable-vector snapshot an ack carries (shards merge peer views)."""
+        return self.stable_clock.copy()
 
     def _serve_log(
         self,
@@ -106,14 +125,15 @@ class EventLogger:
             self._store(det)
         self.probes.el_determinants_stored += len(dets)
         # ack with the full stable vector, after a small batching delay
-        vector = self.stable_clock.copy()
+        vector = self._ack_vector()
         ack_bytes = self.config.el_ack_wire_bytes + self.ack_vector_bytes(vector)
         self.network.transfer(
-            EL_HOST,
+            self.host,
             ack_host,
             ack_bytes,
-            lambda: ack_to(vector),
+            ack_to,
             extra_latency=self.config.el_ack_delay_s,
+            args=(vector,),
         )
 
     def _store(self, det: Determinant) -> None:
@@ -125,10 +145,15 @@ class EventLogger:
         if det.clock == stable.get(det.creator, 0) + 1:
             # advance over any contiguous run already buffered
             stable[det.creator] = det.clock
+            self._note_stable_advance(det.creator, det.clock)
         elif det.clock > stable.get(det.creator, 0) + 1:
             # hole (lost in-flight log before a crash): keep, but stability
             # stays at the contiguous prefix
             pass
+
+    def _note_stable_advance(self, creator: int, clock: int) -> None:
+        """Hook: a creator's stable clock advanced (shards keep their
+        incrementally maintained merged view in sync here)."""
 
     # ------------------------------------------------------------------ #
     # recovery path
@@ -151,14 +176,24 @@ class EventLogger:
         dets = [d for d in self.store[creator] if d.clock > clock_after]
         service = 50e-6 + 1.5e-6 * len(dets)
         start = max(self.sim.now, self._busy_until)
-        self._busy_until = start + service
+        done = start + service
+        self._busy_until = done
         self.probes.el_busy_time_s += service
         nbytes = cfg.el_ack_wire_bytes + len(dets) * cfg.event_record_bytes
+        drain = self._serve_drain
+        if drain is not None:
+            drain.enqueue(done, self._serve_fetch, dets, nbytes, reply_to, reply_host)
+        else:
+            self.sim.post(done, self._serve_fetch, dets, nbytes, reply_to, reply_host)
 
-        def _send_reply():
-            self.network.transfer(EL_HOST, reply_host, nbytes, lambda: reply_to(dets))
-
-        self.sim.at(start + service, _send_reply)
+    def _serve_fetch(
+        self,
+        dets: list[Determinant],
+        nbytes: int,
+        reply_to: Callable[[list[Determinant]], None],
+        reply_host: str,
+    ) -> None:
+        self.network.transfer(self.host, reply_host, nbytes, reply_to, args=(dets,))
 
     # ------------------------------------------------------------------ #
 

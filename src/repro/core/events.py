@@ -289,6 +289,14 @@ class EventSequence:
         if i >= total or clocks[-1] <= bound:
             return 0  # empty tail (bound caught up) — skip the bisect
         if clocks[i] <= bound:
+            # clocks[-1] > bound >= clocks[i] puts at least two live
+            # entries in range, so total - 2 is a valid probe: when the
+            # next-to-last clock is covered too, only the last event is
+            # new (steady-state channels stay one event behind) and both
+            # the bisect and the slice can be skipped
+            if clocks[total - 2] <= bound:
+                out.append(self._dets[-1])
+                return 1
             i = bisect_right(clocks, bound, lo=i)
         n = total - i
         out += self._dets[i:] if i else self._dets
@@ -305,20 +313,42 @@ class EventSequence:
         return self._clocks[self._offset : hi]
 
     def prune_upto(self, clock: int) -> int:
-        """Drop determinants with ``clock <= clock``; returns count dropped."""
+        """Drop determinants with ``clock <= clock``; returns count dropped.
+
+        This runs once per advanced creator per EL ack — the hottest
+        non-message path of the whole repository — so the common shapes
+        are O(1): nothing held, nothing stable yet, everything stable
+        (in-place clear), and the hole-free sequence (index arithmetic
+        instead of a bisect).  Only sequences with holes pay the bisect.
+        """
         if clock > self.pruned_upto:
             self.pruned_upto = clock
-        i = bisect_right(self._clocks, clock, lo=self._offset)
-        dropped = i - self._offset
-        self._offset = i
-        if self._offset > 64 and self._offset * 2 > len(self._clocks):
-            self._clocks = self._clocks[self._offset :]
-            self._dets = self._dets[self._offset :]
+        clocks = self._clocks
+        off = self._offset
+        n = len(clocks)
+        if off >= n or clock < clocks[off]:
+            return 0
+        if clock >= clocks[-1]:
+            # the whole live window became stable (steady EL ack streams
+            # keep sequences fully pruned): drop everything, keeping the
+            # "highest clock reads 0 once fully compacted" definition
+            dropped = n - off
+            clocks.clear()
+            self._dets.clear()
             self._offset = 0
-            if not self._clocks:
-                # mirror the historical "highest clock" definition, which
-                # reads 0 once the backing lists are fully compacted away
-                self.max_clock = 0
+            self._contiguous = True
+            self.max_clock = 0
+            return dropped
+        if self._contiguous:
+            i = off + (clock - clocks[off] + 1)
+        else:
+            i = bisect_right(clocks, clock, lo=off)
+        dropped = i - off
+        self._offset = i
+        if i > 64 and i * 2 > n:
+            self._clocks = clocks[i:]
+            self._dets = self._dets[i:]
+            self._offset = 0
         return dropped
 
     # -- checkpoint round-trip ------------------------------------------ #
@@ -360,16 +390,20 @@ class GrowthLog:
     byte-identical to scan-everything builds.
     """
 
-    __slots__ = ("order", "counter", "seq_order")
+    __slots__ = ("order", "counter", "seq_order", "by_index")
 
     def __init__(self):
         self.order: dict[int, int] = {}
         self.counter = 0
         self.seq_order: dict[int, int] = {}
+        #: creation index -> creator (inverse of seq_order; lets worklists
+        #: sort plain ints instead of sorting creators by a key function)
+        self.by_index: list[int] = []
 
     def register(self, creator: int) -> None:
         """Record a newly created sequence's position in the scan order."""
         self.seq_order[creator] = len(self.seq_order)
+        self.by_index.append(creator)
 
     def mark_grown(self, creator: int) -> None:
         """Move ``creator`` to the end of the log (O(1))."""
@@ -385,6 +419,7 @@ class GrowthLog:
         self.order = {}
         self.counter = 0
         self.seq_order = {}
+        self.by_index = []
         for creator in creators:
             self.register(creator)
             self.mark_grown(creator)
@@ -418,6 +453,8 @@ class StableVector:
 
         Accepts the dense list form or any sparse mapping of nonzero
         entries (``BoundVector``/dict) — EL acks ship the sparse form.
+        (Vcausal does not route its acks through here: its fused
+        ``on_el_ack`` merges and prunes in one pass over the vector.)
         """
         v = self._v
         moved = False

@@ -141,6 +141,13 @@ class ManethoProtocol(VProtocol):
         return cost
 
     def on_el_ack(self, stable_vector) -> None:
+        # unconditional full prune, exactly the pre-worklist behavior: a
+        # chain's prune floor is only raised when its window is visited
+        # with stable coverage, so stale determinants re-admitted below an
+        # already-stable clock must be dropped by the *next* ack even when
+        # no stable entry moved — a moved-creators worklist cannot
+        # reproduce that transient (vcausal can, because its fused loop
+        # keeps every floor glued to the stable vector)
         super().on_el_ack(stable_vector)
         self.graph.prune(self.stable)
 

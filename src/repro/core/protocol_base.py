@@ -127,16 +127,19 @@ class VProtocol:
             return None
         cursor = self._chan_synced.get(dst, 0)
         self._chan_synced[dst] = growth.counter
-        order = growth.order
+        seq_order = growth.seq_order
         dirty: list[int] = []
-        for creator in reversed(order):
-            if order[creator] <= cursor:
+        for creator, tick in reversed(growth.order.items()):
+            if tick <= cursor:
                 break
-            dirty.append(creator)
-        if len(dirty) > 1:
-            dirty.sort(key=growth.seq_order.__getitem__)
+            dirty.append(seq_order[creator])
         self.probes.pb_build_seqs_scanned += len(dirty)
-        return dirty
+        if len(dirty) > 1:
+            # creation indices sort as bare ints (no key function), then
+            # map back to creators — the full scan's iteration order
+            dirty.sort()
+        by_index = growth.by_index
+        return [by_index[ix] for ix in dirty]
 
     # ------------------------------------------------------------------ #
     # fault-free hooks

@@ -37,29 +37,49 @@ class SendPlan:
     receiver_copy: bool         # eager copies through an unexpected buffer
 
 
-def plan_send(nbytes: int, config: ClusterConfig) -> SendPlan:
-    """Choose the wire strategy for an ``nbytes`` payload."""
-    if nbytes <= config.short_threshold_bytes:
-        return SendPlan(
+class PlanSelector:
+    """Per-config plan chooser: the three possible :class:`SendPlan` values
+    are fixed by the config, so the per-message work is two threshold
+    compares instead of a dataclass construction (the daemon consults the
+    plan twice per message — send and receive side)."""
+
+    __slots__ = ("_short_upto", "_eager_upto", "_short", "_eager", "_rendezvous")
+
+    def __init__(self, config: ClusterConfig):
+        self._short_upto = config.short_threshold_bytes
+        self._eager_upto = config.eager_threshold_bytes
+        self._short = SendPlan(
             mode="short",
             header_bytes=ENVELOPE_BYTES,
             handshake_latency_s=0.0,
             receiver_copy=False,
         )
-    if nbytes <= config.eager_threshold_bytes:
-        return SendPlan(
+        self._eager = SendPlan(
             mode="eager",
             header_bytes=ENVELOPE_BYTES,
             handshake_latency_s=0.0,
             receiver_copy=True,
         )
-    # rendezvous: one envelope round trip (RTS + CTS) before the payload
-    handshake = config.rendezvous_rtt_factor * (
-        config.network_latency_s + config.mpi_software_latency_s / 2.0
-    )
-    return SendPlan(
-        mode="rendezvous",
-        header_bytes=2 * ENVELOPE_BYTES,
-        handshake_latency_s=handshake,
-        receiver_copy=False,
-    )
+        # rendezvous: one envelope round trip (RTS + CTS) before the payload
+        handshake = config.rendezvous_rtt_factor * (
+            config.network_latency_s + config.mpi_software_latency_s / 2.0
+        )
+        self._rendezvous = SendPlan(
+            mode="rendezvous",
+            header_bytes=2 * ENVELOPE_BYTES,
+            handshake_latency_s=handshake,
+            receiver_copy=False,
+        )
+
+    def __call__(self, nbytes: int) -> SendPlan:
+        if nbytes <= self._short_upto:
+            return self._short
+        if nbytes <= self._eager_upto:
+            return self._eager
+        return self._rendezvous
+
+
+def plan_send(nbytes: int, config: ClusterConfig) -> SendPlan:
+    """Choose the wire strategy for an ``nbytes`` payload (one-shot form
+    of :class:`PlanSelector`, kept for callers outside the hot path)."""
+    return PlanSelector(config)(nbytes)

@@ -34,7 +34,7 @@ from repro.runtime.config import STACKS, ClusterConfig, StackSpec
 from repro.runtime.daemon import Vdaemon
 from repro.runtime.dispatcher import Dispatcher
 from repro.runtime.failure import FaultPlan
-from repro.simulator.engine import Simulator
+from repro.simulator.engine import Simulator, make_simulator
 from repro.simulator.network import Network
 from repro.simulator.process import SimProcess
 from repro.simulator.rng import SeedSequenceStream
@@ -88,7 +88,7 @@ class Cluster:
         self.spec: StackSpec = STACKS[stack] if isinstance(stack, str) else stack
         self.config = config if config is not None else ClusterConfig()
         self.seeds = SeedSequenceStream(seed)
-        self.sim = Simulator()
+        self.sim = make_simulator(coalesce=self.config.engine_coalesce)
         self.network = Network(
             self.sim,
             bandwidth_bps=self.config.bandwidth_bps,

@@ -104,6 +104,20 @@ class ClusterConfig:
     cost_graph_pressure_s: float = 0.60e-6      # antecedence graph methods
 
     # ---------------------------------------------------------------- #
+    # Simulation engine.  True (default) selects the coalescing macro-event
+    # engine: same-timestamp events drain from one heap pop, zero-delay
+    # events ride a FIFO now-queue that bypasses the heap entirely, and the
+    # serial resources (NIC RX links, daemon receive pipelines, Event
+    # Logger select loops) keep their queued completions in per-resource
+    # pending deques with a single drain timer each, so heap occupancy is
+    # O(resources) instead of O(in-flight work).  Execution order — and
+    # therefore every simulated result — is bit-identical to the reference
+    # one-heap-entry-per-event engine selected by False (kept for A/B
+    # benchmarking, mirroring ``pb_build_worklist``; property-tested in
+    # tests/test_engine_coalescing.py).
+    engine_coalesce: bool = True
+
+    # ---------------------------------------------------------------- #
     # Compute node (AthlonXP 2800+ effective throughput on NAS kernels)
     node_flops: float = 320e6
 

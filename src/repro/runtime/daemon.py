@@ -41,9 +41,9 @@ from repro.core.piggyback import Piggyback
 from repro.core.protocol_base import VProtocol, make_protocol
 from repro.core.sender_log import SenderLog
 from repro.metrics.probes import ProcessProbes, RecoveryRecord
-from repro.runtime.channel import plan_send
+from repro.runtime.channel import PlanSelector
 from repro.runtime.config import ClusterConfig, StackSpec
-from repro.simulator.engine import SimulationError
+from repro.simulator.engine import SerialDrain, SimulationError
 from repro.simulator.process import Future, SimProcess
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -98,6 +98,16 @@ class Vdaemon:
         self.ssn_next: dict[int, int] = {}
         self.last_ssn: dict[int, int] = {}
         self._proc_busy_until = 0.0
+        # The single-threaded daemon finishes receptions in strictly
+        # increasing _proc_busy_until order, so on a coalescing engine the
+        # whole receive pipeline rides one SerialDrain timer instead of
+        # one heap entry per _hand_to_app (None = reference path).
+        self._recv_drain: Optional[SerialDrain] = (
+            SerialDrain(self.sim) if self.sim.coalesced else None
+        )
+        self._plan_send = PlanSelector(config)
+        #: nbytes -> receive-side base delay (pure in nbytes given config)
+        self._recv_delay_cache: dict[int, float] = {}
 
         #: callback into the MPI matching layer; set by MpiContext
         self.deliver_to_app: Optional[Callable[[WireMessage], None]] = None
@@ -140,7 +150,8 @@ class Vdaemon:
             self.host,
             self.cluster.host_of(dst_rank),
             nbytes,
-            lambda: dst_daemon.on_wire(msg),
+            dst_daemon.on_wire,
+            args=(msg,),
         )
 
     # ------------------------------------------------------------------ #
@@ -176,7 +187,7 @@ class Vdaemon:
         # -- stage 2: the daemon builds the piggyback (after the pipes,
         #    so EL acks race the software stack, not just the wire) -------
         pb = self.protocol.build_piggyback(dst)
-        plan = plan_send(nbytes, cfg)
+        plan = self._plan_send(nbytes)
 
         self.probes.app_messages_sent += 1
         self.probes.app_payload_bytes_sent += nbytes
@@ -227,16 +238,19 @@ class Vdaemon:
             raise SimulationError(f"unknown wire kind {msg.kind!r}")
 
     def _recv_base_delay(self, msg: WireMessage) -> float:
-        cfg = self.config
-        delay = cfg.mpi_software_latency_s / 2.0
-        if self.spec.daemon:
-            delay += cfg.daemon_overhead_s / 2.0
-            delay += msg.nbytes * 8.0 / cfg.daemon_copy_bandwidth_bps
-        if self.is_logging:
-            delay += cfg.logging_fixed_latency_s / 2.0
-        plan = plan_send(msg.nbytes, cfg)
-        if plan.receiver_copy:
-            delay += msg.nbytes * 8.0 / cfg.daemon_copy_bandwidth_bps
+        delay = self._recv_delay_cache.get(msg.nbytes)
+        if delay is None:
+            cfg = self.config
+            nbytes = msg.nbytes
+            delay = cfg.mpi_software_latency_s / 2.0
+            if self.spec.daemon:
+                delay += cfg.daemon_overhead_s / 2.0
+                delay += nbytes * 8.0 / cfg.daemon_copy_bandwidth_bps
+            if self.is_logging:
+                delay += cfg.logging_fixed_latency_s / 2.0
+            if self._plan_send(nbytes).receiver_copy:
+                delay += nbytes * 8.0 / cfg.daemon_copy_bandwidth_bps
+            self._recv_delay_cache[nbytes] = delay
         return delay
 
     def _on_app_message(self, msg: WireMessage) -> None:
@@ -255,8 +269,13 @@ class Vdaemon:
         pb_cost = self.protocol.accept_piggyback(msg.src, msg.pb, msg.dep)
         det = self._create_determinant(msg)
         duration = self._recv_base_delay(msg) + pb_cost
-        self._proc_busy_until = start + duration
-        self.sim.post(start + duration, self._hand_to_app, msg, det)
+        ready = start + duration
+        self._proc_busy_until = ready
+        drain = self._recv_drain
+        if drain is not None:
+            drain.enqueue(ready, self._hand_to_app, msg, det)
+        else:
+            self.sim.post(ready, self._hand_to_app, msg, det)
 
     def _create_determinant(self, msg: WireMessage) -> Optional[Determinant]:
         self.last_ssn[msg.src] = msg.ssn
@@ -297,7 +316,8 @@ class Vdaemon:
             self.host,
             shard.host,
             cfg.el_event_wire_bytes,
-            lambda: shard.receive_log(self.rank, (det,), self._el_ack, self.host),
+            shard.receive_log,
+            args=(self.rank, (det,), self._el_ack, self.host),
         )
 
     def el_vector_push(self, stable_vector: list[int]) -> None:
@@ -647,8 +667,13 @@ class Vdaemon:
         if self.spec.event_logger:
             self._post_to_el(det)   # duplicate posts are discarded by the EL
         duration = self._recv_base_delay(msg) + pb_cost
-        self._proc_busy_until = start + duration
-        self.sim.post(start + duration, self._hand_to_app, msg, det)
+        ready = start + duration
+        self._proc_busy_until = ready
+        drain = self._recv_drain
+        if drain is not None:
+            drain.enqueue(ready, self._hand_to_app, msg, det)
+        else:
+            self.sim.post(ready, self._hand_to_app, msg, det)
 
     def _finish_replay(self) -> None:
         if not self.in_replay and not self._fresh_buffer and not self._replay_buffer:

@@ -16,26 +16,48 @@ experiments are sensitive to:
 * **Goodput**: Ethernet/IP/TCP framing is modelled as a fixed per-message
   header plus a goodput factor on the raw 100 Mbit/s wire.
 
+Delivery coalescing (the ``engine_coalesce`` knob): RX reservations are
+serial per NIC, so each NIC books strictly increasing delivery times.  On a
+coalescing engine every NIC keeps its in-flight deliveries in one
+:class:`~repro.simulator.engine.SerialDrain` — a pending deque plus a
+single drain timer riding the heap at the head delivery's pre-claimed
+``(time, seq)`` slot — instead of one heap entry per message.  Heap
+occupancy drops from O(in-flight messages) to O(NICs) at bit-identical
+delivery order.
+
 No topology beyond a single switch is modelled; the paper's cluster used
 one Fast Ethernet switch.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
-from repro.simulator.engine import SimulationError, Simulator
+from repro.simulator.engine import SerialDrain, SimulationError, Simulator
 
 
 @dataclass
 class TransferStats:
-    """Per-NIC traffic accounting (used by the piggyback-volume probes)."""
+    """Per-NIC traffic accounting (used by the piggyback-volume probes).
+
+    ``messages_*`` count wire messages: every chunk of a chunked transfer
+    is one wire message (it pays its own framing overhead).  The logical
+    view is kept separately: ``logical_messages_*`` count one per
+    :meth:`Network.transfer` / :meth:`Network.transfer_chunked` call, and
+    ``chunks_*`` count the wire messages that belonged to chunked
+    transfers, so ``messages_sent == logical_messages_sent`` exactly when
+    nothing was chunked.
+    """
 
     messages_sent: int = 0
     bytes_sent: int = 0
     messages_received: int = 0
     bytes_received: int = 0
+    logical_messages_sent: int = 0
+    logical_messages_received: int = 0
+    chunks_sent: int = 0
+    chunks_received: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -43,6 +65,10 @@ class TransferStats:
             "bytes_sent": self.bytes_sent,
             "messages_received": self.messages_received,
             "bytes_received": self.bytes_received,
+            "logical_messages_sent": self.logical_messages_sent,
+            "logical_messages_received": self.logical_messages_received,
+            "chunks_sent": self.chunks_sent,
+            "chunks_received": self.chunks_received,
         }
 
 
@@ -65,6 +91,11 @@ class Nic:
         self._tx_busy_until = 0.0
         self._rx_busy_until = 0.0
         self.stats = TransferStats()
+        #: coalesced in-flight deliveries (None on the reference engine:
+        #: the network posts one heap entry per message instead)
+        self.rx_drain: Optional[SerialDrain] = (
+            SerialDrain(sim) if sim.coalesced else None
+        )
 
     # -- serialization bookkeeping ------------------------------------- #
 
@@ -130,7 +161,12 @@ class Network:
         self.per_message_overhead_bytes = int(per_message_overhead_bytes)
         self.goodput_factor = float(goodput_factor)
         self.nics: dict[str, Nic] = {}
+        #: wire messages (each chunk of a chunked transfer counts once)
         self.total_messages = 0
+        #: logical messages (a whole chunked transfer counts once)
+        self.total_logical_messages = 0
+        #: wire messages that belonged to chunked transfers
+        self.total_chunk_messages = 0
         self.total_bytes = 0
 
     # ------------------------------------------------------------------ #
@@ -163,12 +199,16 @@ class Network:
         src: str,
         dst: str,
         nbytes: int,
-        deliver: Callable[[], None],
+        deliver: Callable[..., None],
         extra_latency: float = 0.0,
+        args: tuple = (),
+        _chunk: bool = False,
     ) -> float:
         """Move ``nbytes`` from NIC ``src`` to NIC ``dst``.
 
-        ``deliver`` runs when the last byte has been received.  Returns the
+        ``deliver(*args)`` runs when the last byte has been received
+        (passing ``args`` instead of closing over them keeps the hot path
+        free of one closure allocation per message).  Returns the
         scheduled delivery time (useful for tests).  Loopback transfers
         (src == dst) skip the wire entirely and cost only ``extra_latency``.
         """
@@ -178,14 +218,23 @@ class Network:
         dst_nic = self.nics[dst]
         self.total_messages += 1
         self.total_bytes += nbytes
-        src_nic.stats.messages_sent += 1
-        src_nic.stats.bytes_sent += nbytes
-        dst_nic.stats.messages_received += 1
-        dst_nic.stats.bytes_received += nbytes
+        src_stats = src_nic.stats
+        dst_stats = dst_nic.stats
+        src_stats.messages_sent += 1
+        src_stats.bytes_sent += nbytes
+        dst_stats.messages_received += 1
+        dst_stats.bytes_received += nbytes
+        if _chunk:
+            src_stats.chunks_sent += 1
+            dst_stats.chunks_received += 1
+        else:
+            self.total_logical_messages += 1
+            src_stats.logical_messages_sent += 1
+            dst_stats.logical_messages_received += 1
 
         if src == dst:
             at = self.sim.now + extra_latency
-            self.sim.post(at, deliver)
+            self.sim.post(at, deliver, *args)
             return at
 
         wire_bytes = nbytes + self.per_message_overhead_bytes
@@ -193,7 +242,13 @@ class Network:
         tx_start, _tx_end = src_nic.reserve_tx(duration)
         earliest_rx = tx_start + self.latency_s + extra_latency
         _rx_start, rx_end = dst_nic.reserve_rx(earliest_rx, duration)
-        self.sim.post(rx_end, deliver)
+        drain = dst_nic.rx_drain
+        if drain is not None:
+            # rx_end is strictly increasing per NIC (reserve_rx is serial
+            # and duration > 0), the SerialDrain precondition
+            drain.enqueue(rx_end, deliver, *args)
+        else:
+            self.sim.post(rx_end, deliver, *args)
         return rx_end
 
     def transfer_chunked(
@@ -211,18 +266,29 @@ class Network:
         behind a multi-megabyte checkpoint image.  Real TCP interleaves
         streams; chunking approximates that: each chunk is reserved when
         the previous one completes, letting other traffic slot in between.
+
+        One continuation (:meth:`_chunk_step` with a mutable remaining
+        counter) is shared by every chunk — no per-chunk closure chain.
+        The whole transfer counts as **one** logical message; each chunk
+        is one wire message and is counted in the ``chunks_*`` /
+        ``total_chunk_messages`` columns (see :class:`TransferStats`).
         """
+        self.total_logical_messages += 1
+        self.nics[src].stats.logical_messages_sent += 1
+        self.nics[dst].stats.logical_messages_received += 1
         if nbytes <= chunk_bytes:
-            self.transfer(src, dst, nbytes, deliver)
+            self.transfer(src, dst, nbytes, deliver, _chunk=True)
+            self.total_chunk_messages += 1
             return
-        remaining = {"n": nbytes}
+        state = [src, dst, nbytes, chunk_bytes, deliver]
+        self._chunk_step(state)
 
-        def _next_chunk() -> None:
-            take = min(chunk_bytes, remaining["n"])
-            remaining["n"] -= take
-            if remaining["n"] > 0:
-                self.transfer(src, dst, take, _next_chunk)
-            else:
-                self.transfer(src, dst, take, deliver)
-
-        _next_chunk()
+    def _chunk_step(self, state: list) -> None:
+        src, dst, remaining, chunk_bytes, deliver = state
+        take = min(chunk_bytes, remaining)
+        state[2] = remaining - take
+        self.total_chunk_messages += 1
+        if state[2] > 0:
+            self.transfer(src, dst, take, self._chunk_step, args=(state,), _chunk=True)
+        else:
+            self.transfer(src, dst, take, deliver, _chunk=True)

@@ -157,7 +157,10 @@ def _config_field_names() -> set[str]:
 
 def _known_identifiers() -> set[str]:
     """Public attribute names a doc may legitimately backtick alongside the
-    config knobs (probe counters, stack-spec fields, recovery records)."""
+    config knobs (probe counters, stack-spec fields, recovery records),
+    plus the benchmark scenario names (``engine_chain`` must not read as a
+    knob of the ``engine_`` family)."""
+    from benchmarks.perf import run_bench
     from repro.metrics.probes import ClusterProbes, ProcessProbes, RecoveryRecord
     from repro.runtime.config import ClusterConfig, StackSpec
 
@@ -166,6 +169,8 @@ def _known_identifiers() -> set[str]:
         known |= {n for n in dir(cls) if not n.startswith("_")}
         for f in dc_fields(cls):
             known.add(f.name)
+    known |= set(run_bench.scenarios(quick=False))
+    known |= set(run_bench.scenarios(quick=True))
     return known
 
 

@@ -174,3 +174,47 @@ def test_chunked_transfer_delivers_once_with_full_volume():
     sim.run()
     assert len(done) == 1
     assert net.total_bytes == 1_000_000
+
+
+def test_chunked_transfer_counts_chunks_and_logical_messages():
+    sim, net = make_net()
+    a = net.attach("a")
+    b = net.attach("b")
+    net.transfer_chunked("a", "b", 1_000_000, lambda: None, chunk_bytes=256 * 1024)
+    sim.run()
+    # 1 MB in 256 KiB chunks: 4 wire messages, 1 logical message
+    assert net.total_messages == 4
+    assert net.total_chunk_messages == 4
+    assert net.total_logical_messages == 1
+    assert a.stats.messages_sent == 4 and a.stats.chunks_sent == 4
+    assert a.stats.logical_messages_sent == 1
+    assert b.stats.messages_received == 4 and b.stats.chunks_received == 4
+    assert b.stats.logical_messages_received == 1
+    assert a.stats.bytes_sent == 1_000_000
+
+    # a plain transfer is one wire + one logical message and no chunks
+    net.transfer("a", "b", 10, lambda: None)
+    sim.run()
+    assert net.total_messages == 5
+    assert net.total_logical_messages == 2
+    assert net.total_chunk_messages == 4
+    assert a.stats.chunks_sent == 4
+
+    # a chunked transfer below the chunk size is one wire message that
+    # still counts as one logical message and one chunk
+    net.transfer_chunked("a", "b", 100, lambda: None)
+    sim.run()
+    assert net.total_messages == 6
+    assert net.total_chunk_messages == 5
+    assert net.total_logical_messages == 3
+    assert a.stats.logical_messages_sent == 3
+
+
+def test_transfer_args_passed_to_deliver():
+    sim, net = make_net()
+    net.attach("a")
+    net.attach("b")
+    got = []
+    net.transfer("a", "b", 100, lambda x, y: got.append((x, y, sim.now)), args=(1, "z"))
+    sim.run()
+    assert len(got) == 1 and got[0][:2] == (1, "z")
