@@ -339,6 +339,123 @@ def nas_fault(bench: str, nprocs: int, stack: str, iterations: int, kill_s: floa
     }
 
 
+def _el4_failover_config(coalesce: bool = True):
+    """Shared config of the CG-256 infrastructure-fault scenarios: four EL
+    shards (tree sync), failure domains, shard failover and the retry layer
+    armed.  The fault-free reference runs the *same* config so the faulty
+    runs can be checked for identical application results."""
+    from repro.runtime.config import ClusterConfig
+
+    return ClusterConfig().with_overrides(
+        pb_cost_model="sparse",
+        engine_coalesce=coalesce,
+        el_count=4,
+        el_sync_strategy="tree",
+        el_sync_interval_s=10e-3,
+        el_failover=True,
+        ckpt_server_failover=True,
+        fault_domains=32,
+        rpc_timeout_s=25e-3,
+    )
+
+
+def _infra_checksum(result) -> dict:
+    """Checksum fields shared by the infrastructure-fault scenarios."""
+    probes = result.probes
+    return {
+        "events": result.events_executed,
+        "sim_time": round(result.sim_time, 9),
+        "messages": probes.total("app_messages_sent"),
+        "recoveries": len(probes.recoveries),
+        "replayed": probes.total("replayed_receptions"),
+        "rpc_retries": probes.rpc_total("retries"),
+        "rpc_timeouts": probes.rpc_total("timeouts"),
+        "result_fold": result_fold(result.results),
+    }
+
+
+def nas_infra_fault(fault: str):
+    """Robustness scenarios: CG-256 under infrastructure faults.
+
+    One config (:func:`_el4_failover_config`), three fault regimes:
+
+    * ``"storm"`` — a burst of two failure-domain kills (16 ranks) inside
+      a 100 ms window, with restart-triggered cascade re-kills;
+    * ``"shardloss"`` — EL shard 1 dies mid-run; survivors absorb its key
+      range off disk and re-request unsynced determinants from creators;
+    * ``"none"`` — the fault-free reference.
+
+    Rank kills and shard kills stay in separate regimes on purpose: the
+    simultaneous loss of a creator and its EL shard is out of scope (see
+    docs/ARCHITECTURE.md).  Every faulty run must fold to the reference's
+    ``result_fold`` — recovery that changes application results is a bug,
+    not a slowdown.
+    """
+    from repro.experiments.common import run_nas
+    from repro.runtime.failure import InfraFaults, StormFaults
+
+    plan = {
+        "storm": lambda: StormFaults(
+            start_s=0.3, window_s=0.1, kills=2,
+            cascade_p=0.5, cascade_delay_s=0.05, seed=1,
+        ),
+        "shardloss": lambda: InfraFaults(el_shard_kills=[(0.35, 1)]),
+        "none": lambda: None,
+    }[fault]()
+    result, _info = run_nas(
+        "cg", "A", 256, "vcausal", iterations=1,
+        config=_el4_failover_config(), fault_plan=plan,
+        app_kwargs={"inner": 3},
+    )
+    probes = result.probes
+    checksum = _infra_checksum(result)
+    checksum.update(
+        el_failovers=probes.el_failovers,
+        el_disk_recovered=probes.el_disk_records_recovered,
+        el_relogged=probes.el_relogged_determinants,
+    )
+    return result.events_executed, checksum
+
+
+def nas_ckpt_outage(fault: bool):
+    """First checkpoint-server scenario: MG-16 (previously unbenchmarked)
+    under coordinated checkpointing with a mid-run server outage.
+
+    The server dies at 0.41 s with a full wave of image transfers in
+    flight — every one of them aborts at delivery (transactional
+    contract), the daemons back off and re-store after the 0.65 s
+    restore, the scheduler skips ticks during the outage, and a rank
+    killed after the restore recovers with results identical to the
+    fault-free reference (``fault=False``).
+    """
+    from repro.experiments.common import run_nas
+    from repro.runtime.config import ClusterConfig
+    from repro.runtime.failure import CompositeFaults, InfraFaults, OneShotFaults
+
+    cfg = ClusterConfig().with_overrides(
+        ckpt_server_failover=True, rpc_timeout_s=25e-3
+    )
+    plan = None
+    if fault:
+        plan = CompositeFaults(plans=[
+            InfraFaults(ckpt_outages=[(0.41, 0.65)]),
+            OneShotFaults([(0.75, 3)]),
+        ])
+    result, _info = run_nas(
+        "mg", "A", 16, "vcausal", iterations=3, config=cfg,
+        checkpoint_policy="coordinated", checkpoint_interval_s=0.2,
+        fault_plan=plan,
+    )
+    probes = result.probes
+    checksum = _infra_checksum(result)
+    checksum.update(
+        ckpt_outages=probes.ckpt_outages,
+        ckpt_stores_aborted=probes.ckpt_stores_aborted,
+        ckpt_ticks_skipped=result.cluster.scheduler.ticks_skipped,
+    )
+    return result.events_executed, checksum
+
+
 def result_fold(results: dict) -> int:
     """Deterministic checksum of the per-rank application results."""
     fold = 0
@@ -386,6 +503,14 @@ def scenarios(quick: bool) -> dict:
             "nas_lu256_noel_fullscan": lambda: nas_noel_scan(
                 "lu", 64, "vcausal-noel", 1, worklist=False
             ),
+            # the infrastructure-fault scenarios run at full size in quick
+            # mode too: their checksums must exact-match the recorded BENCH
+            # values, so the smoke test can pin them between full runs
+            "nas_cg256_el4_storm": lambda: nas_infra_fault("storm"),
+            "nas_cg256_el4_shardloss": lambda: nas_infra_fault("shardloss"),
+            "nas_cg256_el4_reference": lambda: nas_infra_fault("none"),
+            "nas_mg16_ckpt_outage": lambda: nas_ckpt_outage(fault=True),
+            "nas_mg16_ckpt_reference": lambda: nas_ckpt_outage(fault=False),
         }
     return {
         "engine_chain": lambda: engine_chain(8, 25_000),
@@ -418,6 +543,11 @@ def scenarios(quick: bool) -> dict:
         "nas_lu256_noel_fullscan": lambda: nas_noel_scan(
             "lu", 256, "vcausal-noel", 1, worklist=False
         ),
+        "nas_cg256_el4_storm": lambda: nas_infra_fault("storm"),
+        "nas_cg256_el4_shardloss": lambda: nas_infra_fault("shardloss"),
+        "nas_cg256_el4_reference": lambda: nas_infra_fault("none"),
+        "nas_mg16_ckpt_outage": lambda: nas_ckpt_outage(fault=True),
+        "nas_mg16_ckpt_reference": lambda: nas_ckpt_outage(fault=False),
     }
 
 

@@ -61,6 +61,39 @@ def test_quick_mode_runs_in_seconds_and_is_deterministic():
     sim_only = lambda c: {k: v for k, v in c.items() if k != "seqs_scanned"}
     assert sim_only(wl) == sim_only(fs)
     assert fs["seqs_scanned"] >= 5 * wl["seqs_scanned"]
+    # ... and the infrastructure-fault scenarios (failure-domain storm,
+    # EL-shard failover, checkpoint-server outage): a faulty run that does
+    # not reproduce its fault-free reference's application results is a
+    # correctness bug, not a slowdown
+    ref = results["nas_cg256_el4_reference"]["checksum"]
+    storm = results["nas_cg256_el4_storm"]["checksum"]
+    assert storm["recoveries"] >= 16  # two domains of 8 ranks, plus cascades
+    assert storm["replayed"] > 0
+    assert storm["result_fold"] == ref["result_fold"]
+    shard = results["nas_cg256_el4_shardloss"]["checksum"]
+    assert shard["el_failovers"] == 1
+    assert shard["el_disk_recovered"] > 0  # absorbed off the dead shard's disk
+    assert shard["el_relogged"] > 0  # unsynced determinants re-sent by creators
+    assert shard["result_fold"] == ref["result_fold"]
+    outage = results["nas_mg16_ckpt_outage"]["checksum"]
+    ck_ref = results["nas_mg16_ckpt_reference"]["checksum"]
+    assert outage["ckpt_outages"] == 1
+    assert outage["ckpt_stores_aborted"] >= 16  # a whole wave aborted in flight
+    assert outage["ckpt_ticks_skipped"] >= 1
+    assert outage["recoveries"] == 1
+    assert outage["result_fold"] == ck_ref["result_fold"]
+    # the infra scenarios run at full size even in quick mode, so this smoke
+    # run must reproduce the recorded BENCH_6 checksums bit-for-bit — the
+    # robustness scenarios cannot rot between full --run-bench runs
+    recorded = json.loads((run_bench.REPO_ROOT / "BENCH_6.json").read_text())
+    for name in (
+        "nas_cg256_el4_storm",
+        "nas_cg256_el4_shardloss",
+        "nas_cg256_el4_reference",
+        "nas_mg16_ckpt_outage",
+        "nas_mg16_ckpt_reference",
+    ):
+        assert results[name]["checksum"] == recorded["scenarios"][name]["checksum"], name
 
 
 def test_check_docs_flags_unreferenced_bench_files(tmp_path):

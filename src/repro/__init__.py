@@ -27,7 +27,15 @@ Quick start::
 
 from repro.runtime.cluster import Cluster, RunResult
 from repro.runtime.config import CAUSAL_PROTOCOLS, FIGURE_STACKS, STACKS, ClusterConfig, StackSpec
-from repro.runtime.failure import OneShotFaults, PeriodicFaults
+from repro.runtime.failure import (
+    CompositeFaults,
+    CorrelatedFaults,
+    FailureDomains,
+    InfraFaults,
+    OneShotFaults,
+    PeriodicFaults,
+    StormFaults,
+)
 
 __version__ = "1.0.0"
 
@@ -41,5 +49,10 @@ __all__ = [
     "CAUSAL_PROTOCOLS",
     "OneShotFaults",
     "PeriodicFaults",
+    "CorrelatedFaults",
+    "StormFaults",
+    "InfraFaults",
+    "CompositeFaults",
+    "FailureDomains",
     "__version__",
 ]

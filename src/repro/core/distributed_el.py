@@ -43,6 +43,18 @@ All four converge every shard's merged view to the same fixed point on a
 quiesced system (tested); they differ in message count and in how stale a
 shard's view of remote creators may be in between.
 
+Shard failover (``ClusterConfig.el_failover``): shards themselves run on
+volatile grid nodes.  Each shard writes determinants to stable storage
+before acknowledging them (a write-ahead store), so when a shard dies the
+group reassigns its key range to the next surviving shard
+(:meth:`EventLoggerGroup.kill_shard` → failover after the detection
+delay): the dead shard's disk is streamed to the new owner, and the
+creators of the absorbed range re-log whatever the disk did not hold —
+which is exactly the set of determinants the dead shard had never acked,
+hence still held (unpruned) at their creators.  Clients re-resolve
+``shard_for`` per attempt (see :mod:`repro.runtime.retry`), so retries
+land on the new owner.
+
 With ``count=1`` this degenerates to the single EL of the paper's body.
 """
 
@@ -188,8 +200,15 @@ class EventLoggerGroup:
             EventLoggerShard(sim, network, config, probes, nprocs, k)
             for k in range(count)
         ]
+        #: key-range ownership: slot ``rank % count`` -> shard index.  The
+        #: identity map reproduces the static assignment; failover points
+        #: a dead shard's slots at the surviving shard that absorbed them.
+        self.owner: list[int] = list(range(count))
+        self.shard_kills = 0
         #: vectors pushed to nodes under the broadcast strategy
         self.node_vector_sinks: dict[str, Callable[[list[int]], None]] = {}
+        #: per-node re-log request sinks (daemon.on_el_relog_request)
+        self.relog_sinks: dict[str, Callable[[int], None]] = {}
         # merged-raise logs back the delta sync of the strategies whose
         # shards ship their *own* view (multicast/broadcast/gossip); the
         # tree forwards the root's view as full vectors and a single
@@ -213,7 +232,7 @@ class EventLoggerGroup:
     # ------------------------------------------------------------------ #
 
     def shard_index_for(self, rank: int) -> int:
-        return rank % self.count
+        return self.owner[rank % self.count]
 
     def shard_for(self, rank: int) -> EventLoggerShard:
         return self.shards[self.shard_index_for(rank)]
@@ -226,6 +245,104 @@ class EventLoggerGroup:
     ) -> None:
         """Register a daemon callback for broadcast-strategy vectors."""
         self.node_vector_sinks[host] = sink
+
+    def register_relog_sink(self, host: str, sink: Callable[[int], None]) -> None:
+        """Register a daemon callback for failover re-log requests."""
+        self.relog_sinks[host] = sink
+
+    # ------------------------------------------------------------------ #
+    # shard failure + failover
+
+    def kill_shard(self, index: int) -> None:
+        """Crash one shard.  With ``ClusterConfig.el_failover`` enabled,
+        a surviving shard absorbs the dead shard's key range after the
+        usual detection delay; without it the range simply goes dark
+        (clients that retry keep retrying into the dead host)."""
+        shard = self.shards[index]
+        if not shard.alive:
+            return
+        shard.alive = False
+        self.shard_kills += 1
+        if not self.config.el_failover:
+            return
+        if not any(s.alive for s in self.shards):
+            return
+        self.sim.schedule(
+            self.config.fault_detection_delay_s, self._failover, index
+        )
+
+    def _failover(self, index: int) -> None:
+        """Reassign the dead shard's key range to the next alive shard.
+
+        The shard's write-ahead store — every determinant was written to
+        stable storage *before* being acknowledged — is streamed off its
+        disk to the new owner; determinants the dead shard had received
+        but not yet serviced were never acked, so their creators still
+        hold them and are asked to re-log everything above the disk's
+        stable clock.  Ownership flips immediately: clients that re-probe
+        (``shard_for``) land on the new owner, whose merged global view
+        already carries the dead range's last synced clocks.
+        """
+        dead = self.shards[index]
+        new_owner = None
+        for i in range(1, self.count + 1):
+            cand = self.shards[(index + i) % self.count]
+            if cand.alive:
+                new_owner = cand
+                break
+        if new_owner is None:
+            return  # pragma: no cover - kill_shard guards this
+        dead_slots = {
+            slot for slot in range(self.count) if self.owner[slot] == index
+        }
+        for slot in dead_slots:
+            self.owner[slot] = new_owner.index
+        creators = [
+            c for c in range(self.nprocs) if (c % self.count) in dead_slots
+        ]
+        self.probes.el_failovers += 1
+        records = {c: list(dead.store[c]) for c in creators if dead.store[c]}
+        n = sum(len(v) for v in records.values())
+        self.probes.el_disk_records_recovered += n
+        new_owner._rebuilding.update(creators)
+        nbytes = self.config.el_ack_wire_bytes + n * self.config.event_record_bytes
+        self.network.transfer(
+            dead.host,
+            new_owner.host,
+            nbytes,
+            self._disk_loaded,
+            args=(new_owner, records, creators),
+        )
+
+    def _disk_loaded(
+        self,
+        owner: EventLoggerShard,
+        records: dict[int, list[Determinant]],
+        creators: list[int],
+    ) -> None:
+        owner.ingest_records(records)
+        owner.finish_rebuild(creators)
+        # ask every creator of the absorbed range to re-log what the disk
+        # did not hold (received-but-unacked determinants died with the
+        # shard's process; unacked means the creator still holds them)
+        for creator in creators:
+            host = (
+                self.node_hosts[creator]
+                if creator < len(self.node_hosts)
+                else None
+            )
+            sink = self.relog_sinks.get(host) if host is not None else None
+            if sink is None:
+                continue
+            disk_clock = owner.stable_clock.data.get(creator, 0)
+            self.probes.el_relog_requests += 1
+            self.network.transfer(
+                owner.host,
+                host,
+                self.config.recovery_request_bytes,
+                sink,
+                args=(disk_clock,),
+            )
 
     # ------------------------------------------------------------------ #
     # synchronization
@@ -254,7 +371,12 @@ class EventLoggerGroup:
             return
         self.sync_rounds += 1
         if self.sync_strategy == "tree":
-            self._tree_round()
+            if any(not s.alive for s in self.shards):
+                # a dead shard breaks the reduce tree: fall back to a
+                # full-vector all-to-all among the survivors this round
+                self._degraded_round()
+            else:
+                self._tree_round()
         elif self.sync_strategy == "gossip":
             self._gossip_round()
         else:
@@ -274,10 +396,15 @@ class EventLoggerGroup:
         shards = self.shards
         for shard in shards:
             log = shard._merged_log
-            if log is None:
+            if log is None or not shard.alive:
                 continue
+            # dead peers never read again, so they do not hold the floor
             floor = min(
-                (p._sync_pos.get(shard.index, 0) for p in shards if p is not shard),
+                (
+                    p._sync_pos.get(shard.index, 0)
+                    for p in shards
+                    if p is not shard and p.alive
+                ),
                 default=0,
             )
             drop = floor - shard._log_base
@@ -289,13 +416,15 @@ class EventLoggerGroup:
         """All-to-all exchange (``"multicast"``/``"broadcast"``): the
         original strategy, kept bit-identical — O(count²) messages."""
         for shard in self.shards:
+            if not shard.alive:
+                continue
             # wire size is that of the full merged snapshot, but peers
             # absorb the sender's own view as a log delta (bit-identical:
             # the log suffix reconstructs exactly this snapshot)
             vec_bytes = self._vector_wire_bytes(shard, shard._merged)
             upto = shard._log_base + len(shard._merged_log)  # absolute
             for peer in self.shards:
-                if peer is shard:
+                if peer is shard or not peer.alive:
                     continue
                 self.sync_messages += 1
                 self.sync_bytes += vec_bytes
@@ -320,6 +449,28 @@ class EventLoggerGroup:
                         sink,
                         args=(local,),
                     )
+
+    def _degraded_round(self) -> None:
+        """Full-vector all-to-all among the alive shards — the fallback
+        sync round for topologies whose structure a dead shard breaks
+        (tree).  Costs more per round than the tree but keeps the
+        survivors converging while the membership is degraded."""
+        alive = [s for s in self.shards if s.alive]
+        for shard in alive:
+            vector = shard.merged_view()
+            vec_bytes = self._vector_wire_bytes(shard, vector)
+            for peer in alive:
+                if peer is shard:
+                    continue
+                self.sync_messages += 1
+                self.sync_bytes += vec_bytes
+                self.network.transfer(
+                    shard.host,
+                    peer.host,
+                    vec_bytes,
+                    peer.absorb_peer_vector,
+                    args=(vector,),
+                )
 
     # -- tree: k-ary reduce-then-broadcast over the shards --------------- #
 
@@ -383,6 +534,8 @@ class EventLoggerGroup:
         # sync_rounds was already incremented for this round: rotate from 0
         base = (self.sync_rounds - 1) * fanout
         for k, shard in enumerate(self.shards):
+            if not shard.alive:
+                continue
             # sizing from the merged snapshot; peers absorb the sender's
             # own log delta (same equivalence as the multicast round)
             vec_bytes = self._vector_wire_bytes(shard, shard._merged)
@@ -390,6 +543,8 @@ class EventLoggerGroup:
             for j in range(fanout):
                 offset = 1 + (base + j) % (count - 1)
                 peer = self.shards[(k + offset) % count]
+                if not peer.alive:
+                    continue
                 self.sync_messages += 1
                 self.sync_bytes += vec_bytes
                 self.network.transfer(
@@ -404,10 +559,14 @@ class EventLoggerGroup:
     # aggregate introspection
 
     def stored_count(self) -> int:
-        return sum(s.stored_count() for s in self.shards)
+        """Determinants held by the *alive* shards (a dead shard's store
+        is its unread disk; counting it would double-count records already
+        absorbed by its failover owner)."""
+        return sum(s.stored_count() for s in self.shards if s.alive)
 
     def merged_stable(self) -> list[int]:
         out = BoundVector()
         for shard in self.shards:
-            out.update_max(shard.merged_view())
+            if shard.alive:
+                out.update_max(shard.merged_view())
         return out.as_list(self.nprocs)

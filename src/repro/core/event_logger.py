@@ -20,7 +20,7 @@ peer, which is the whole Fig. 10 story.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.core.bounds import BoundVector
 from repro.core.events import Determinant
@@ -51,6 +51,15 @@ class EventLogger:
         self.nprocs = nprocs
         #: NIC this logger serves from (shards override with their own)
         self.host = EL_HOST
+        #: False after a crash: messages addressed to this logger are
+        #: dropped on the floor (clients time out and retry elsewhere)
+        self.alive = True
+        #: creators whose absorbed key range is still being rebuilt from a
+        #: dead peer's disk — their fetches are deferred until the records
+        #: have been ingested (a fetch answered mid-rebuild would hand the
+        #: recovering rank a truncated history)
+        self._rebuilding: set[int] = set()
+        self._deferred_fetches: list[tuple] = []
         #: creator -> clock-ordered stored determinants
         self.store: dict[int, list[Determinant]] = {r: [] for r in range(nprocs)}
         #: creator -> highest contiguous stored clock (sparse: only creators
@@ -94,6 +103,9 @@ class EventLogger:
         ``ack_to`` is invoked at the source daemon when the ack message is
         delivered; it receives the stable vector snapshot taken at ack time.
         """
+        if not self.alive:
+            self.probes.el_posts_dropped += 1
+            return  # no ack: the client's retry timer covers the loss
         cfg = self.config
         self._queued += 1
         if self._queued > self.probes.el_peak_queue:
@@ -121,6 +133,8 @@ class EventLogger:
         ack_host: str,
     ) -> None:
         self._queued -= 1
+        if not self.alive:
+            return  # crashed after accepting: the queued service dies too
         for det in dets:
             self._store(det)
         self.probes.el_determinants_stored += len(dets)
@@ -172,6 +186,14 @@ class EventLogger:
         determinant), a bulk fetch is a single scan-and-stream of the
         creator's log: fixed setup plus a small per-event streaming cost.
         """
+        if not self.alive:
+            self.probes.el_posts_dropped += 1
+            return  # no reply: the recovering rank's retry covers it
+        if creator in self._rebuilding:
+            # absorbed range still streaming off the dead shard's disk:
+            # answer once the rebuild lands (deferred, not dropped)
+            self._deferred_fetches.append((creator, clock_after, reply_to, reply_host))
+            return
         cfg = self.config
         dets = [d for d in self.store[creator] if d.clock > clock_after]
         service = 50e-6 + 1.5e-6 * len(dets)
@@ -196,6 +218,34 @@ class EventLogger:
         self.network.transfer(self.host, reply_host, nbytes, reply_to, args=(dets,))
 
     # ------------------------------------------------------------------ #
+    # failover support
+
+    def ingest_records(self, records: dict[int, list[Determinant]]) -> int:
+        """Bulk-load determinants streamed off a dead peer's disk.
+
+        Charged like one bulk fetch per batch (a single scan-and-append
+        pass); returns the number of records ingested.  Creators are
+        processed in rank order and each creator's records arrive
+        clock-ordered, so the contiguous-stability bookkeeping of
+        :meth:`_store` applies unchanged.
+        """
+        n = 0
+        for creator in sorted(records):
+            for det in records[creator]:
+                self._store(det)
+                n += 1
+        service = 50e-6 + 1.5e-6 * n
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + service
+        self.probes.el_busy_time_s += service
+        return n
+
+    def finish_rebuild(self, creators: Iterable[int]) -> None:
+        """The absorbed range is loaded: flush any deferred fetches."""
+        self._rebuilding.difference_update(creators)
+        pending, self._deferred_fetches = self._deferred_fetches, []
+        for creator, clock_after, reply_to, reply_host in pending:
+            self.fetch_events(creator, clock_after, reply_to, reply_host)
 
     def stored_count(self) -> int:
         return sum(len(v) for v in self.store.values())

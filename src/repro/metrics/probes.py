@@ -110,6 +110,29 @@ class ClusterProbes:
     checkpoints_stored: int = 0
     checkpoint_bytes: int = 0
 
+    # fault-plan bookkeeping: scheduled faults dropped because the victim
+    # was already dead, mid-restart, or finished (OneShot and Periodic
+    # plans, plus the domain-level storm/correlated plans)
+    faults_skipped: int = 0
+
+    # infrastructure failover counters
+    el_failovers: int = 0               # dead-shard ranges absorbed
+    el_posts_dropped: int = 0           # log/fetch messages hitting a dead shard
+    el_disk_records_recovered: int = 0  # determinants streamed off a dead shard's disk
+    el_relog_requests: int = 0          # creators asked to re-log unsynced suffixes
+    el_relogged_determinants: int = 0   # determinants re-posted by creators
+    ckpt_outages: int = 0               # checkpoint-server failure episodes
+    ckpt_waves_aborted: int = 0         # in-flight coordinated waves dropped
+    ckpt_stores_aborted: int = 0        # store transactions aborted mid-transfer
+
+    #: per-channel retry/timeout accounting (channel name -> RetryStats);
+    #: populated lazily by Cluster.rpc_channel
+    rpc_channels: dict = field(default_factory=dict)
+
+    def rpc_total(self, attr: str) -> int:
+        """Sum one RetryStats column over every service channel."""
+        return sum(getattr(s, attr) for s in self.rpc_channels.values())
+
     def rank(self, r: int) -> ProcessProbes:
         if r not in self.per_rank:
             self.per_rank[r] = ProcessProbes(rank=r)

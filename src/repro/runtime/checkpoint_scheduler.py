@@ -50,6 +50,8 @@ class CheckpointScheduler:
         self._next_rank = 0
         self._wave = 0
         self.requests_issued = 0
+        #: periods skipped because the checkpoint server was down
+        self.ticks_skipped = 0
 
     def start(self) -> None:
         if self.policy == "none":
@@ -60,6 +62,12 @@ class CheckpointScheduler:
 
     def _tick(self) -> None:
         if self.cluster.finished:
+            return
+        if not self.cluster.checkpoint_server.alive:
+            # server outage: skip the period (no wave is even started),
+            # rearm — checkpointing resumes once the server is restored
+            self.ticks_skipped += 1
+            self.sim.schedule(self.interval_s, self._tick)
             return
         if self.policy == "coordinated":
             self._wave += 1

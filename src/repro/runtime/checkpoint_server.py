@@ -9,6 +9,17 @@ In message-logging protocols the image of a process contains the MPI
 process state, the payload of logged messages and the causal information
 held in local memory — callers pass the composed byte size; the server
 charges the transfer over its NIC and commits atomically at delivery.
+
+Outage semantics (``ClusterConfig.ckpt_server_failover``): the server
+process can :meth:`~CheckpointServer.fail` and later
+:meth:`~CheckpointServer.restore`.  Committed images and complete waves
+live on disk and survive; everything in flight follows the transactional
+contract — store transfers racing the crash abort at delivery (the
+server generation changed), in-flight coordinated waves are dropped, and
+restarts fall back to the newest wave that *had* completed.  While the
+server is down, ``store``/``retrieve`` return ``False`` (connection
+refused) so the retry layer (:mod:`repro.runtime.retry`) can back off
+and re-attempt instead of losing the call.
 """
 
 from __future__ import annotations
@@ -46,17 +57,53 @@ class CheckpointServer:
         network: Network,
         config: ClusterConfig,
         probes: ClusterProbes,
+        nprocs: int = 0,
     ):
         self.sim = sim
         self.network = network
         self.config = config
         self.probes = probes
+        #: rank count served (0 = unknown; needed to tell an in-flight
+        #: coordinated wave from a complete one during an outage)
+        self.nprocs = nprocs
+        self.alive = True
+        #: bumped on every failure; a store commit racing the crash sees a
+        #: newer generation at delivery and aborts (transactional contract)
+        self.generation = 0
         self.images: dict[int, CheckpointImage] = {}
         self._versions: dict[int, int] = {}
         #: completed coordinated checkpoint waves: wave id -> set of ranks
         self.waves: dict[int, set[int]] = {}
         #: per-(rank, wave) images for coordinated restarts
         self.wave_images: dict[tuple[int, int], CheckpointImage] = {}
+        #: waves dropped by an outage; late commits never resurrect them
+        self._aborted_waves: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # outage lifecycle
+
+    def fail(self) -> None:
+        """Crash the server process: in-flight transactions will abort at
+        delivery; committed images and complete waves survive on disk."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.generation += 1
+        self.probes.ckpt_outages += 1
+        nprocs = self.nprocs
+        inflight = [
+            w for w, ranks in self.waves.items() if nprocs and len(ranks) < nprocs
+        ]
+        for wave in inflight:
+            ranks = self.waves.pop(wave)
+            for r in ranks:
+                self.wave_images.pop((r, wave), None)
+            self._aborted_waves.add(wave)
+            self.probes.ckpt_waves_aborted += 1
+
+    def restore(self) -> None:
+        """Bring the server back (state reloaded from disk)."""
+        self.alive = True
 
     # ------------------------------------------------------------------ #
 
@@ -67,19 +114,29 @@ class CheckpointServer:
         snapshot: Any,
         src_host: str,
         on_commit: Optional[Callable[[CheckpointImage], None]] = None,
+        on_abort: Optional[Callable[[], None]] = None,
         wave: Optional[int] = None,
-    ) -> None:
+    ) -> bool:
         """Begin a store transaction: transfer then atomic commit.
 
-        If the source dies mid-transfer the delivery callback never fires
-        for a dead sender's stream in a real system; here the transfer
-        completes only if scheduled — a crash *before* calling store simply
-        never starts the transaction, matching the transactional contract.
+        Returns ``False`` (connection refused, nothing sent) when the
+        server is down.  A transfer accepted before a crash aborts at
+        delivery — the generation check below — invoking ``on_abort`` so
+        the retry layer can re-attempt; the server state is untouched,
+        matching the paper's transactional contract.
         """
+        if not self.alive:
+            return False
         version = self._versions.get(rank, 0) + 1
         self._versions[rank] = version
+        generation = self.generation
 
         def _commit() -> None:
+            if not self.alive or generation != self.generation:
+                self.probes.ckpt_stores_aborted += 1
+                if on_abort is not None:
+                    on_abort()
+                return
             image = CheckpointImage(
                 rank=rank,
                 version=version,
@@ -90,54 +147,62 @@ class CheckpointServer:
             self.images[rank] = image
             self.probes.checkpoints_stored += 1
             self.probes.checkpoint_bytes += nbytes
-            if wave is not None:
+            if wave is not None and wave not in self._aborted_waves:
                 self.waves.setdefault(wave, set()).add(rank)
                 self.wave_images[(rank, wave)] = image
             if on_commit is not None:
                 on_commit(image)
 
         self.network.transfer_chunked(src_host, CKPT_HOST, nbytes, _commit)
+        return True
 
     def retrieve(
         self,
         rank: int,
         dst_host: str,
         on_delivered: Callable[[Optional[CheckpointImage]], None],
-    ) -> None:
+    ) -> bool:
         """Send the latest committed image of ``rank`` back to ``dst_host``.
 
         Delivers ``None`` (after a round trip of the request) when no image
-        exists — the caller restarts from the initial state.
+        exists — the caller restarts from the initial state.  Returns
+        ``False`` without sending anything when the server is down.
         """
+        if not self.alive:
+            return False
         image = self.images.get(rank)
         if image is None:
             self.network.transfer(
                 CKPT_HOST, dst_host, self.config.recovery_request_bytes,
                 lambda: on_delivered(None),
             )
-            return
+            return True
         self.network.transfer_chunked(
             CKPT_HOST, dst_host, image.nbytes, lambda: on_delivered(image)
         )
+        return True
 
     def retrieve_wave(
         self,
         rank: int,
-        wave: int,
+        wave: Optional[int],
         dst_host: str,
         on_delivered: Callable[[Optional[CheckpointImage]], None],
-    ) -> None:
+    ) -> bool:
         """Send the image of ``rank`` from coordinated wave ``wave``."""
+        if not self.alive:
+            return False
         image = self.wave_images.get((rank, wave))
         if image is None:
             self.network.transfer(
                 CKPT_HOST, dst_host, self.config.recovery_request_bytes,
                 lambda: on_delivered(None),
             )
-            return
+            return True
         self.network.transfer_chunked(
             CKPT_HOST, dst_host, image.nbytes, lambda: on_delivered(image)
         )
+        return True
 
     def wave_complete(self, wave: int, nprocs: int) -> bool:
         """True when every rank committed an image for coordinated ``wave``."""

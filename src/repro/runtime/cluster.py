@@ -34,6 +34,7 @@ from repro.runtime.config import STACKS, ClusterConfig, StackSpec
 from repro.runtime.daemon import Vdaemon
 from repro.runtime.dispatcher import Dispatcher
 from repro.runtime.failure import FaultPlan
+from repro.runtime.retry import RetryChannel, RetryPolicy, RetryStats
 from repro.simulator.engine import Simulator, make_simulator
 from repro.simulator.network import Network
 from repro.simulator.process import SimProcess
@@ -127,9 +128,12 @@ class Cluster:
             else None
         )
         self.checkpoint_server = CheckpointServer(
-            self.sim, self.network, self.config, self.probes
+            self.sim, self.network, self.config, self.probes, nprocs=nprocs
         )
         self.epoch = 0
+        self.retry_policy = RetryPolicy.from_config(self.config)
+        self._rpc_channels: dict[str, RetryChannel] = {}
+        self._restart_listeners: list[Callable[[int], None]] = []
 
         self.daemons: dict[int, Vdaemon] = {}
         self.contexts: dict[int, MpiContext] = {}
@@ -144,6 +148,11 @@ class Cluster:
             for r in range(nprocs):
                 self.event_logger.register_node_sink(
                     self.host_of(r), self.daemons[r].el_vector_push
+                )
+        if self.event_logger is not None:
+            for r in range(nprocs):
+                self.event_logger.register_relog_sink(
+                    self.host_of(r), self.daemons[r].on_el_relog_request
                 )
         self.dispatcher = Dispatcher(self.sim, self)
         if self.spec.protocol == "coordinated" and checkpoint_policy not in (
@@ -245,6 +254,40 @@ class Cluster:
         for r, daemon in self.daemons.items():
             if r != rank and daemon.alive:
                 daemon.on_peer_restarted(rank)
+        self.fire_restart_listeners(rank)
+
+    def add_restart_listener(self, listener: Callable[[int], None]) -> None:
+        """Register a callback invoked with each rank that restarts (used
+        by the cascading fault plans to model still-faulty hardware)."""
+        self._restart_listeners.append(listener)
+
+    def fire_restart_listeners(self, rank: int) -> None:
+        for listener in self._restart_listeners:
+            listener(rank)
+
+    def kill_el_shard(self, index: int) -> None:
+        """Crash one Event Logger shard (failover is the group's job)."""
+        if self.event_logger is not None:
+            self.event_logger.kill_shard(index)
+
+    # ------------------------------------------------------------------ #
+    # retry layer
+
+    def rpc_channel(self, name: str) -> RetryChannel:
+        """Named retry channel (``"el_log"``, ``"ckpt_store"``, ...);
+        per-channel stats land in ``probes.rpc_channels``."""
+        channel = self._rpc_channels.get(name)
+        if channel is None:
+            stats = RetryStats()
+            self.probes.rpc_channels[name] = stats
+            channel = RetryChannel(
+                self.sim,
+                self.retry_policy,
+                stats=stats,
+                active=lambda: not self.finished,
+            )
+            self._rpc_channels[name] = channel
+        return channel
 
     # ------------------------------------------------------------------ #
 

@@ -162,6 +162,32 @@ class ClusterConfig:
     event_record_bytes: int = 16                 # stored determinant size
 
     # ---------------------------------------------------------------- #
+    # Failure domains and infrastructure failover.  ``fault_domains``
+    # groups the ranks into that many contiguous, balanced blocks (one
+    # node / switch group per block) that the correlated fault plans kill
+    # as a unit; 0 keeps the historical one-rank-per-domain behaviour.
+    # ``el_failover`` lets surviving Event Logger shards absorb a dead
+    # shard's key range (from its stable store plus creator re-logs);
+    # ``ckpt_server_failover`` arms the checkpoint-server outage handling
+    # (in-flight waves abort, restarts fall back to the last complete
+    # wave).  Both are inert until an infrastructure component actually
+    # dies, so defaults keep every recorded checksum bit-identical.
+    fault_domains: int = 0
+    el_failover: bool = False
+    ckpt_server_failover: bool = False
+    # Retry/timeout/backoff layer for daemon→EL and daemon→checkpoint
+    # traffic (repro.runtime.retry).  ``rpc_timeout_s == 0`` disables the
+    # layer entirely (the default: no extra timers, bit-identical runs);
+    # when enabled, each attempt is re-sent after a capped exponential
+    # backoff: min(rpc_backoff_base_s * rpc_backoff_factor**k,
+    # rpc_backoff_max_s), giving up after rpc_max_attempts attempts.
+    rpc_timeout_s: float = 0.0
+    rpc_backoff_base_s: float = 0.05
+    rpc_backoff_factor: float = 2.0
+    rpc_backoff_max_s: float = 1.0
+    rpc_max_attempts: int = 8
+
+    # ---------------------------------------------------------------- #
     # Wire format of causal piggybacks (paper §III-C)
     pb_group_header_bytes: int = 8   # {rid, nb} per factored group
     pb_event_factored_bytes: int = 12  # event without receiver rank
@@ -177,6 +203,31 @@ class ClusterConfig:
             raise ValueError("el_tree_fanout must be >= 1")
         if self.el_gossip_fanout < 1:
             raise ValueError("el_gossip_fanout must be >= 1")
+        if self.fault_detection_delay_s < 0:
+            raise ValueError(
+                f"fault_detection_delay_s must be >= 0, got {self.fault_detection_delay_s!r}"
+            )
+        if self.fault_domains < 0:
+            raise ValueError(f"fault_domains must be >= 0, got {self.fault_domains!r}")
+        if self.rpc_timeout_s < 0:
+            raise ValueError(f"rpc_timeout_s must be >= 0, got {self.rpc_timeout_s!r}")
+        if self.rpc_backoff_base_s < 0:
+            raise ValueError(
+                f"rpc_backoff_base_s must be >= 0, got {self.rpc_backoff_base_s!r}"
+            )
+        if self.rpc_backoff_factor < 1:
+            raise ValueError(
+                f"rpc_backoff_factor must be >= 1, got {self.rpc_backoff_factor!r}"
+            )
+        if self.rpc_backoff_max_s < self.rpc_backoff_base_s:
+            raise ValueError(
+                "rpc_backoff_max_s must be >= rpc_backoff_base_s, got "
+                f"{self.rpc_backoff_max_s!r} < {self.rpc_backoff_base_s!r}"
+            )
+        if self.rpc_max_attempts < 1:
+            raise ValueError(
+                f"rpc_max_attempts must be >= 1, got {self.rpc_max_attempts!r}"
+            )
 
     def with_overrides(self, **kw) -> "ClusterConfig":
         """Return a copy with the given fields replaced."""

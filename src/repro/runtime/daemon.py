@@ -306,19 +306,78 @@ class Vdaemon:
     # Event Logger client
 
     def _post_to_el(self, det: Determinant) -> None:
-        cfg = self.config
         group = self.cluster.event_logger
         if group is None:
             return
-        shard = group.shard_for(self.rank)
         self.probes.el_events_logged += 1
-        self.network.transfer(
-            self.host,
-            shard.host,
-            cfg.el_event_wire_bytes,
-            shard.receive_log,
-            args=(self.rank, (det,), self._el_ack, self.host),
+        self._el_log_send((det,))
+
+    def _el_log_send(self, dets: tuple) -> None:
+        """Ship one log message to this rank's shard.
+
+        With the retry layer disabled (the default) this is the historical
+        fire-and-forget post.  With it enabled, the ack doubles as the
+        completion signal: a post swallowed by a dead shard times out and
+        is re-sent — the shard is re-resolved per attempt, so the retry
+        lands on the failover owner once the key range has moved.
+        """
+        cfg = self.config
+        group = self.cluster.event_logger
+        nbytes = cfg.el_event_wire_bytes * len(dets)
+        policy = self.cluster.retry_policy
+        if not policy.enabled:
+            shard = group.shard_for(self.rank)
+            self.network.transfer(
+                self.host,
+                shard.host,
+                nbytes,
+                shard.receive_log,
+                args=(self.rank, dets, self._el_ack, self.host),
+            )
+            return
+        channel = self.cluster.rpc_channel("el_log")
+
+        def _attempt(call) -> None:
+            if not self.alive:
+                call.complete()  # crashed client: drop, recovery re-logs
+                return
+            shard = group.shard_for(self.rank)
+
+            def _ack(vector, call=call) -> None:
+                call.complete()
+                self._el_ack(vector)
+
+            self.network.transfer(
+                self.host,
+                shard.host,
+                nbytes,
+                shard.receive_log,
+                args=(self.rank, dets, _ack, self.host),
+            )
+
+        channel.call(_attempt)
+
+    def on_el_relog_request(self, clock_after: int) -> None:
+        """Failover re-log: the shard that absorbed our key range asks for
+        every determinant above its disk's stable clock.  Unacked
+        determinants are by definition still held (unpruned) here, so the
+        suffix is rebuilt from the protocol's own causal structures and
+        re-posted as one ordinary log message (duplicates are discarded
+        by the EL store)."""
+        if not self.alive:
+            return
+        group = self.cluster.event_logger
+        if group is None:
+            return
+        dets = tuple(
+            d
+            for d in self.protocol.events_created_by(self.rank)
+            if d.clock > clock_after
         )
+        if not dets:
+            return
+        self.cluster.probes.el_relogged_determinants += len(dets)
+        self._el_log_send(dets)
 
     def el_vector_push(self, stable_vector: list[int]) -> None:
         """Broadcast-strategy stable vector pushed by an EL shard."""
@@ -372,14 +431,45 @@ class Vdaemon:
         # blocking part of the checkpoint (fork + image setup)
         yield cfg.checkpoint_fixed_overhead_s
         wave_id = wave if wave is not None and wave >= 0 else None
-        self.cluster.checkpoint_server.store(
-            self.rank,
-            image_bytes,
-            snapshot,
-            self.host,
-            on_commit=lambda img: self._ckpt_committed(snapshot),
-            wave=wave_id,
-        )
+        server = self.cluster.checkpoint_server
+        policy = self.cluster.retry_policy
+        if not (policy.enabled and cfg.ckpt_server_failover):
+            server.store(
+                self.rank,
+                image_bytes,
+                snapshot,
+                self.host,
+                on_commit=lambda img: self._ckpt_committed(snapshot),
+                wave=wave_id,
+            )
+            return
+        # retried store: no deadline timer (a multi-megabyte image can
+        # legitimately stream for a long time) — failure is signalled
+        # explicitly, by a refused connection or an aborted transaction
+        channel = self.cluster.rpc_channel("ckpt_store")
+
+        def _attempt(call) -> None:
+            if not self.alive:
+                call.complete()  # crashed mid-retry: the image is moot
+                return
+
+            def _committed(img, call=call) -> None:
+                call.complete()
+                self._ckpt_committed(snapshot)
+
+            accepted = server.store(
+                self.rank,
+                image_bytes,
+                snapshot,
+                self.host,
+                on_commit=_committed,
+                on_abort=call.fail,
+                wave=wave_id,
+            )
+            if not accepted:
+                call.fail()  # server down: back off, retry
+
+        channel.call(_attempt, arm_timeout=False)
 
     def _ckpt_committed(self, snapshot: dict) -> None:
         """Notify peers so they can GC sender-based payloads (§IV-B.3)."""
@@ -487,9 +577,12 @@ class Vdaemon:
         dets: list[Determinant] = []
         if self.spec.event_logger and cluster.event_logger is not None:
             fut = Future(self.sim, f"el-fetch@{self.rank}")
-            cluster.event_logger.shard_for(self.rank).fetch_events(
-                self.rank, self.last_ckpt_clock, fut.resolve, self.host
-            )
+            if cluster.retry_policy.enabled:
+                self._el_fetch_with_retry(fut)
+            else:
+                cluster.event_logger.shard_for(self.rank).fetch_events(
+                    self.rank, self.last_ckpt_clock, fut.resolve, self.host
+                )
             dets = list((yield fut))
             # unpack/merge the recovered determinants
             merge = len(dets) * cfg.cost_deserialize_event_s
@@ -559,6 +652,30 @@ class Vdaemon:
             self._pump_replay()  # payloads may have arrived while collecting
         else:
             self._finish_replay()
+
+    def _el_fetch_with_retry(self, fut: Future) -> None:
+        """Determinant fetch with timeout/retry: a fetch sent into a dead
+        or mid-failover shard is silently dropped, and without a retry the
+        recovery generator would wait on ``fut`` forever.  The shard is
+        re-resolved per attempt; duplicate replies (a slow first answer
+        racing a retry's) resolve the future only once."""
+        cluster = self.cluster
+        channel = cluster.rpc_channel("el_fetch")
+
+        def _attempt(call) -> None:
+            if fut.cancelled or fut.resolved or not self.recovering:
+                call.complete()  # recovery superseded (e.g. killed again)
+                return
+            shard = cluster.event_logger.shard_for(self.rank)
+
+            def _reply(dets, call=call) -> None:
+                call.complete()
+                if not fut.cancelled and not fut.resolved:
+                    fut.resolve(dets)
+
+            shard.fetch_events(self.rank, self.last_ckpt_clock, _reply, self.host)
+
+        channel.call(_attempt)
 
     def request_resends(self) -> None:
         """Ask every peer to re-send logged payloads we have not delivered."""

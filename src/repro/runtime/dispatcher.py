@@ -9,6 +9,15 @@ strategy depends on the protocol:
 * the coordinated-checkpoint protocol restarts **every rank** from the
   last *complete* coordinated wave (or from scratch);
 * non-fault-tolerant stacks (P4, Vdummy) treat a fault as fatal.
+
+Overlapping episodes (failure storms): each fault opens a new per-rank
+*episode*; stale callbacks from a superseded episode (a rank that died
+again before its image arrived, or was resurrected by a newer restart)
+are discarded instead of starting duplicate recoveries.  Coordinated
+restarts coalesce: a fault detected while a global restart is already
+relaunching everyone is absorbed by it, unless the victim had already
+been relaunched by the in-flight wave — then one follow-up global
+restart is queued.
 """
 
 from __future__ import annotations
@@ -36,27 +45,61 @@ class Dispatcher:
         self.faults_seen = 0
         self.global_restarts = 0
         self.single_restarts = 0
+        #: detections absorbed by an already in-flight global restart
+        self.coalesced_detections = 0
+        #: rank -> id of its newest fault episode; callbacks carry the id
+        #: they were scheduled under and no-op once superseded
+        self._episode: dict[int, int] = {}
+        self._global_inflight = False
+        #: ranks already relaunched by the in-flight global restart wave
+        self._global_relaunched: set[int] = set()
+        #: a follow-up global restart queued behind the in-flight one
+        self._global_rerun: Optional[RecoveryRecord] = None
 
     # ------------------------------------------------------------------ #
 
     def notice_fault(self, rank: int, fault_time: float) -> None:
         """Called right after a fault is injected; detection is delayed."""
         self.faults_seen += 1
+        episode = self._episode.get(rank, 0) + 1
+        self._episode[rank] = episode
         cfg = self.cluster.config
-        self.sim.schedule(cfg.fault_detection_delay_s, self._detected, rank, fault_time)
+        self.sim.schedule(
+            cfg.fault_detection_delay_s, self._detected, rank, fault_time, episode
+        )
 
-    def _detected(self, rank: int, fault_time: float) -> None:
+    def _stale(self, rank: int, episode: int) -> bool:
+        """True when a callback belongs to a superseded episode: the run
+        finished, a newer fault opened a fresh episode, or the rank is
+        already back up (resurrected by an overlapping restart)."""
+        return (
+            self.cluster.finished
+            or self._episode.get(rank) != episode
+            or self.cluster.daemons[rank].alive
+        )
+
+    def _detected(self, rank: int, fault_time: float, episode: int) -> None:
         cluster = self.cluster
-        if cluster.finished:
+        if self._stale(rank, episode):
             return
-        daemon = cluster.daemons[rank]
-        if daemon.alive:
-            return  # already restarted by an earlier (overlapping) episode
+        spec = cluster.spec
+        if spec.protocol == "coordinated" and self._global_inflight:
+            record = RecoveryRecord(
+                rank=rank, fault_time=fault_time, detect_time=self.sim.now
+            )
+            if rank in self._global_relaunched and self._global_rerun is None:
+                # the in-flight wave already relaunched this rank and it
+                # died again: one follow-up global restart is owed
+                cluster.probes.recoveries.append(record)
+                self._global_rerun = record
+            else:
+                # the in-flight wave will relaunch this rank anyway
+                self.coalesced_detections += 1
+            return
         record = RecoveryRecord(
             rank=rank, fault_time=fault_time, detect_time=self.sim.now
         )
         cluster.probes.recoveries.append(record)
-        spec = cluster.spec
         if spec.protocol == "none":
             raise FatalFaultError(
                 f"rank {rank} died under non-fault-tolerant stack {spec.name!r}"
@@ -66,24 +109,52 @@ class Dispatcher:
             self._global_restart(record)
         else:
             self.single_restarts += 1
-            self._single_restart(rank, record)
+            self._single_restart(rank, record, episode)
 
     # ------------------------------------------------------------------ #
     # single-rank restart (message logging)
 
-    def _single_restart(self, rank: int, record: RecoveryRecord) -> None:
+    def _single_restart(self, rank: int, record: RecoveryRecord, episode: int) -> None:
         cfg = self.cluster.config
 
         def _relaunched() -> None:
-            self.cluster.checkpoint_server.retrieve(
-                rank, self.cluster.host_of(rank), _image_delivered
-            )
-
-        def _image_delivered(image: Optional[CheckpointImage]) -> None:
-            snapshot = image.snapshot if image is not None else None
-            self.cluster.daemons[rank].begin_recovery(snapshot, record)
+            if self._stale(rank, episode):
+                return
+            self._retrieve_image(rank, record, episode)
 
         self.sim.schedule(cfg.restart_overhead_s, _relaunched)
+
+    def _retrieve_image(self, rank: int, record: RecoveryRecord, episode: int) -> None:
+        cluster = self.cluster
+        server = cluster.checkpoint_server
+        host = cluster.host_of(rank)
+
+        def _image_delivered(image: Optional[CheckpointImage]) -> None:
+            if self._stale(rank, episode):
+                return
+            snapshot = image.snapshot if image is not None else None
+            cluster.daemons[rank].begin_recovery(snapshot, record)
+
+        policy = cluster.retry_policy
+        if not (policy.enabled and cluster.config.ckpt_server_failover):
+            server.retrieve(rank, host, _image_delivered)
+            return
+
+        channel = cluster.rpc_channel("ckpt_retrieve")
+
+        def _attempt(call) -> None:
+            if self._stale(rank, episode):
+                call.complete()
+                return
+
+            def _delivered(image: Optional[CheckpointImage], call=call) -> None:
+                call.complete()
+                _image_delivered(image)
+
+            if not server.retrieve(rank, host, _delivered):
+                call.fail()  # server down: connection refused, back off
+
+        channel.call(_attempt, arm_timeout=False)
 
     # ------------------------------------------------------------------ #
     # global restart (coordinated checkpointing)
@@ -92,9 +163,15 @@ class Dispatcher:
         cluster = self.cluster
         cfg = cluster.config
         cluster.epoch += 1
+        self._global_inflight = True
+        self._global_relaunched = set()
         # stop everything that is still running
         for r in range(cluster.nprocs):
             cluster.kill_rank(r, record_fault=False)
+        # fresh episodes: detections already in flight for ranks we just
+        # killed belong to the pre-restart world
+        for r in range(cluster.nprocs):
+            self._episode[r] = self._episode.get(r, 0) + 1
         wave = cluster.checkpoint_server.latest_complete_wave(cluster.nprocs)
 
         restarted = {"count": 0}
@@ -112,20 +189,43 @@ class Dispatcher:
                 pending = _copy.deepcopy(snapshot["endpoint"])
             daemon.probes.restarts += 1
             cluster.restart_app(r, state, pending)
+            cluster.fire_restart_listeners(r)
+            self._global_relaunched.add(r)
             restarted["count"] += 1
             if restarted["count"] == cluster.nprocs:
                 record.replay_end_time = self.sim.now
+                self._global_inflight = False
+                self._global_relaunched = set()
+                rerun, self._global_rerun = self._global_rerun, None
+                if rerun is not None:
+                    self.global_restarts += 1
+                    self._global_restart(rerun)
+
+        def _fetch_image(r: int) -> None:
+            server = cluster.checkpoint_server
+            host = cluster.host_of(r)
+            deliver = lambda img, rr=r: _restart_rank(rr, img)
+            policy = cluster.retry_policy
+            if not (policy.enabled and cfg.ckpt_server_failover):
+                server.retrieve_wave(r, wave, host, deliver)
+                return
+            channel = cluster.rpc_channel("ckpt_retrieve")
+
+            def _attempt(call) -> None:
+                def _delivered(image, call=call):
+                    call.complete()
+                    deliver(image)
+
+                if not server.retrieve_wave(r, wave, host, _delivered):
+                    call.fail()
+
+            channel.call(_attempt, arm_timeout=False)
 
         def _relaunch_all() -> None:
             for r in range(cluster.nprocs):
                 if wave is None:
                     _restart_rank(r, None)
                 else:
-                    cluster.checkpoint_server.retrieve_wave(
-                        r,
-                        wave,
-                        cluster.host_of(r),
-                        lambda img, rr=r: _restart_rank(rr, img),
-                    )
+                    _fetch_image(r)
 
         self.sim.schedule(cfg.restart_overhead_s, _relaunch_all)

@@ -1,0 +1,200 @@
+"""Shared retry/timeout/backoff primitive for daemon→service traffic.
+
+The paper's volatility assumption does not stop at compute nodes: the
+Event Logger shards and the checkpoint servers live on the same grid.
+When one of them is mid-failover, a client that fire-and-forgets its
+request simply loses it — the recovering rank deadlocks waiting for a
+determinant fetch that will never be answered.  This module gives every
+daemon→EL and daemon→checkpoint-server interaction the same discipline a
+real RPC stack would have:
+
+* a **deterministic sim-time timer** per in-flight call
+  (``rpc_timeout_s``); no wall clock, no randomness — retries land at
+  reproducible simulated instants;
+* **capped exponential backoff** between attempts:
+  ``min(rpc_backoff_base_s * rpc_backoff_factor**(attempt-1),
+  rpc_backoff_max_s)``;
+* a bounded attempt budget (``rpc_max_attempts``) after which the call is
+  abandoned and counted, never silently retried forever;
+* **per-channel probes** (attempts / retries / timeouts / failures /
+  abandoned) so scenarios can assert how hard the retry layer worked.
+
+Calls complete either positively (:meth:`RetryCall.complete`, e.g. the EL
+ack arrived) or with an explicit failure signal (:meth:`RetryCall.fail`,
+e.g. the checkpoint server refused or aborted a store) — the failure path
+skips the timeout and backs off immediately, modelling a connection
+refused/reset against a dead service.
+
+With ``rpc_timeout_s == 0`` (the default) the whole layer is disabled:
+clients keep their direct send paths and no timer events enter the heap,
+so every recorded benchmark checksum stays bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.runtime.config import ClusterConfig
+from repro.simulator.engine import Simulator
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Immutable timeout/backoff parameters (derived from the config)."""
+
+    timeout_s: float = 0.0
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 1.0
+    max_attempts: int = 8
+
+    @classmethod
+    def from_config(cls, config: ClusterConfig) -> "RetryPolicy":
+        return cls(
+            timeout_s=config.rpc_timeout_s,
+            backoff_base_s=config.rpc_backoff_base_s,
+            backoff_factor=config.rpc_backoff_factor,
+            backoff_max_s=config.rpc_backoff_max_s,
+            max_attempts=config.rpc_max_attempts,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.timeout_s > 0
+
+    def backoff_s(self, attempt: int) -> float:
+        """Delay before re-attempting after attempt number ``attempt``."""
+        return min(
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+            self.backoff_max_s,
+        )
+
+
+@dataclass
+class RetryStats:
+    """Per-channel accounting (one instance per named service channel)."""
+
+    attempts: int = 0       # sends issued, including re-sends
+    completions: int = 0    # calls that completed positively
+    retries: int = 0        # re-sends (attempts beyond each call's first)
+    timeouts: int = 0       # attempts that hit the deadline
+    failures: int = 0       # attempts failed explicitly (refused/aborted)
+    abandoned: int = 0      # calls dropped after max_attempts
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "attempts": self.attempts,
+            "completions": self.completions,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "failures": self.failures,
+            "abandoned": self.abandoned,
+        }
+
+
+class RetryCall:
+    """One logical call: owns the attempt counter and the pending timer."""
+
+    __slots__ = ("channel", "send", "arm_timeout", "attempt", "done", "_timer")
+
+    def __init__(
+        self,
+        channel: "RetryChannel",
+        send: Callable[["RetryCall"], None],
+        arm_timeout: bool,
+    ):
+        self.channel = channel
+        self.send = send
+        self.arm_timeout = arm_timeout
+        self.attempt = 0
+        self.done = False
+        self._timer = None
+
+    # -- outcomes (idempotent: late acks after a retry are harmless) ----- #
+
+    def complete(self) -> None:
+        """The call succeeded; cancels the pending timer, stops retrying."""
+        if self.done:
+            return
+        self.done = True
+        self._cancel_timer()
+        self.channel.stats.completions += 1
+
+    def fail(self) -> None:
+        """Explicit failure signal (service refused or aborted the call):
+        back off immediately instead of waiting for the timeout."""
+        if self.done:
+            return
+        self._cancel_timer()
+        self.channel.stats.failures += 1
+        self.channel._after_attempt_failed(self)
+
+    # -- internal -------------------------------------------------------- #
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _fire_attempt(self) -> None:
+        if self.done or not self.channel.active():
+            self.done = True
+            return
+        self.attempt += 1
+        self.channel.stats.attempts += 1
+        if self.attempt > 1:
+            self.channel.stats.retries += 1
+        if self.arm_timeout:
+            self._timer = self.channel.sim.schedule(
+                self.channel.policy.timeout_s, self._timed_out
+            )
+        self.send(self)
+
+    def _timed_out(self) -> None:
+        if self.done:
+            return
+        self._timer = None
+        self.channel.stats.timeouts += 1
+        self.channel._after_attempt_failed(self)
+
+
+class RetryChannel:
+    """A named service channel (e.g. ``"el_log"``) sharing one policy.
+
+    ``call(send)`` issues ``send(call)`` immediately and re-issues it after
+    timeouts/failures with capped exponential backoff.  ``send`` must
+    resolve routing *at send time* (e.g. look the shard up per attempt) so
+    a retry lands on the post-failover owner, and must eventually invoke
+    ``call.complete()`` or ``call.fail()`` from its delivery callbacks.
+    """
+
+    __slots__ = ("sim", "policy", "stats", "active")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        policy: RetryPolicy,
+        stats: Optional[RetryStats] = None,
+        active: Optional[Callable[[], bool]] = None,
+    ):
+        self.sim = sim
+        self.policy = policy
+        self.stats = stats if stats is not None else RetryStats()
+        self.active = active if active is not None else (lambda: True)
+
+    def call(
+        self, send: Callable[[RetryCall], None], arm_timeout: bool = True
+    ) -> RetryCall:
+        """Start a retried call; ``arm_timeout=False`` for calls whose
+        failures are signalled explicitly (no deadline timer needed)."""
+        call = RetryCall(self, send, arm_timeout)
+        call._fire_attempt()
+        return call
+
+    def _after_attempt_failed(self, call: RetryCall) -> None:
+        if call.attempt >= self.policy.max_attempts:
+            call.done = True
+            self.stats.abandoned += 1
+            return
+        self.sim.schedule(self.policy.backoff_s(call.attempt), call._fire_attempt)
