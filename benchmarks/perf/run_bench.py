@@ -674,6 +674,12 @@ def main(argv=None) -> int:
         "is not referenced in docs/BENCHMARKING.md",
     )
     ap.add_argument(
+        "--check-static",
+        action="store_true",
+        help="run no scenarios; run the simlint determinism/hot-path gate "
+        "(python -m tools.simlint src tools) and exit with its status",
+    )
+    ap.add_argument(
         "--profile",
         metavar="SCENARIO",
         default=None,
@@ -681,6 +687,14 @@ def main(argv=None) -> int:
         "the top-20 cumulative functions instead of benchmarking",
     )
     args = ap.parse_args(argv)
+    if args.check_static:
+        # the determinism/hot-path lint gate (docs/ANALYSIS.md); run from
+        # the repo root so pyproject's [tool.simlint] overlay is picked up
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.simlint", "src", "tools"],
+            cwd=REPO_ROOT,
+        )
+        return proc.returncode
     if args.profile is not None:
         return profile_scenario(args.profile, args.quick)
     if args.check_docs:

@@ -26,6 +26,8 @@ never wrong, because stable events are excluded from piggybacks anyway).
 
 from __future__ import annotations
 
+from typing import Any, Sequence
+
 from repro.core.bounds import BoundVector
 from repro.core.events import Determinant, EventSequence, GrowthLog, StableVector
 
@@ -33,7 +35,7 @@ from repro.core.events import Determinant, EventSequence, GrowthLog, StableVecto
 class AntecedenceGraph:
     """Prunable DAG of determinants with knowledge-traversal support."""
 
-    def __init__(self, nprocs: int):
+    def __init__(self, nprocs: int) -> None:
         self.nprocs = nprocs
         self.seqs: dict[int, EventSequence] = {}
         #: (creator, clock) -> Lamport stamp
@@ -105,7 +107,7 @@ class AntecedenceGraph:
         self.growth.mark_grown(creator)
         return True
 
-    def add_run(self, dets) -> int:
+    def add_run(self, dets: Sequence[Determinant]) -> int:
         """Insert one creator run (clock-ascending); returns vertices added.
 
         Equivalent to calling :meth:`add` per determinant.  The factored
@@ -265,13 +267,13 @@ class AntecedenceGraph:
         seq = self.seqs.get(creator)
         return list(seq) if seq is not None else []
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         return {
             "seqs": {c: s.export_state() for c, s in self.seqs.items()},
             "lamport": dict(self.lamport),
         }
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict[str, Any]) -> None:
         # EventSequence.from_state restores each sequence's pruned_upto, so
         # a restored graph keeps refusing stale duplicates of events the EL
         # already made stable (add()/merge() would otherwise resurrect them

@@ -41,7 +41,7 @@ class BoundVector:
 
     __slots__ = ("data",)
 
-    def __init__(self, entries: BoundState | None = None):
+    def __init__(self, entries: BoundState | None = None) -> None:
         data: dict[int, int] = {}
         if entries is not None:
             items = (
@@ -71,7 +71,7 @@ class BoundVector:
     def __iter__(self) -> Iterator[int]:
         return iter(self.data)
 
-    def items(self):
+    def items(self) -> Iterable[tuple[int, int]]:
         return self.data.items()
 
     def __eq__(self, other: object) -> bool:
@@ -138,7 +138,7 @@ class BoundVector:
         return cls(state)
 
 
-def _iter_entries(vector: BoundState):
+def _iter_entries(vector: BoundState) -> Iterable[tuple[int, int]]:
     """(creator, clock) pairs of any bound representation (sparse or dense)."""
     if isinstance(vector, BoundVector):
         return vector.data.items()

@@ -21,6 +21,8 @@ from repro.core.protocol_base import VProtocol
 class CoordinatedProtocol(VProtocol):
     """Marker: selects global-restart recovery and coordinated snapshots."""
 
+    __slots__ = ()
+
     uses_event_logger = False
     name = "coordinated"
 

@@ -83,7 +83,15 @@ def shard_host(index: int) -> str:
 class EventLoggerShard(EventLogger):
     """One shard: a full EL plus a merged global view of its peers."""
 
-    def __init__(self, sim, network, config, probes, nprocs, index: int):
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: ClusterConfig,
+        probes: ClusterProbes,
+        nprocs: int,
+        index: int,
+    ) -> None:
         super().__init__(sim, network, config, probes, nprocs)
         self.index = index
         self.host = shard_host(index)
@@ -109,7 +117,7 @@ class EventLoggerShard(EventLogger):
         """Authoritative local clocks merged with the peer view."""
         return self._merged.copy()
 
-    def absorb_peer_vector(self, vector) -> None:
+    def absorb_peer_vector(self, vector: BoundVector) -> None:
         """Merge a peer shard's vector (sparse or dense form)."""
         gv = self.global_view.data
         merged = self._merged.data
@@ -156,7 +164,7 @@ class EventLoggerShard(EventLogger):
 
     # override: acks carry the merged global view (service scheduling and
     # the reply host are inherited — the base logger serves from self.host)
-    def _ack_vector(self):
+    def _ack_vector(self) -> BoundVector:
         return self._merged.copy()
 
 
@@ -176,7 +184,7 @@ class EventLoggerGroup:
         node_hosts: Optional[list[str]] = None,
         tree_fanout: int = 2,
         gossip_fanout: int = 2,
-    ):
+    ) -> None:
         if count < 1:
             raise ValueError("need at least one Event Logger shard")
         if sync_strategy not in SYNC_STRATEGIES:
@@ -295,7 +303,7 @@ class EventLoggerGroup:
         dead_slots = {
             slot for slot in range(self.count) if self.owner[slot] == index
         }
-        for slot in dead_slots:
+        for slot in sorted(dead_slots):
             self.owner[slot] = new_owner.index
         creators = [
             c for c in range(self.nprocs) if (c % self.count) in dead_slots
@@ -363,7 +371,7 @@ class EventLoggerGroup:
         fanout = min(self.gossip_fanout, self.count - 1)
         return -(-(self.count - 1) // fanout)  # ceil division
 
-    def _vector_wire_bytes(self, shard: EventLoggerShard, vector) -> int:
+    def _vector_wire_bytes(self, shard: EventLoggerShard, vector: BoundVector) -> int:
         return self.config.el_ack_wire_bytes + shard.ack_vector_bytes(vector)
 
     def _sync_tick(self) -> None:
@@ -501,7 +509,7 @@ class EventLoggerGroup:
         self.sync_messages += 1
         self.sync_bytes += vec_bytes
 
-        def _absorb_up(p=parent, v=vector):  # v is a frozen snapshot
+        def _absorb_up(p: EventLoggerShard = parent, v: BoundVector = vector) -> None:  # v is a frozen snapshot
             p.absorb_peer_vector(v)
             pending[p.index] -= 1
             if pending[p.index] == 0:
@@ -509,7 +517,7 @@ class EventLoggerGroup:
 
         self.network.transfer(shard.host, parent.host, vec_bytes, _absorb_up)
 
-    def _tree_send_down(self, index: int, vector) -> None:
+    def _tree_send_down(self, index: int, vector: BoundVector) -> None:
         shard = self.shards[index]
         for child_index in self._tree_children(index):
             child = self.shards[child_index]
@@ -517,7 +525,7 @@ class EventLoggerGroup:
             self.sync_messages += 1
             self.sync_bytes += vec_bytes
 
-            def _absorb_down(c=child, v=vector):  # v is a frozen snapshot
+            def _absorb_down(c: EventLoggerShard = child, v: BoundVector = vector) -> None:  # v is a frozen snapshot
                 c.absorb_peer_vector(v)
                 self._tree_send_down(c.index, v)
 

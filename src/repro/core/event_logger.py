@@ -43,7 +43,7 @@ class EventLogger:
         config: ClusterConfig,
         probes: ClusterProbes,
         nprocs: int,
-    ):
+    ) -> None:
         self.sim = sim
         self.network = network
         self.config = config

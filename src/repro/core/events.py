@@ -18,7 +18,27 @@ Event Logger acknowledge with a single per-creator stable clock.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Iterable, NamedTuple, Optional, Sequence
+from typing import (
+    Any,
+    Iterable,
+    Iterator,
+    NamedTuple,
+    Optional,
+    Protocol,
+    Sequence,
+    Union,
+)
+
+
+class SupportsStableItems(Protocol):
+    """Sparse stable-clock view: anything with ``items() -> (creator, clock)``
+    pairs (``BoundVector``, plain dicts)."""
+
+    def items(self) -> Iterable[tuple[int, int]]: ...
+
+
+#: what EL acks ship: the dense list form or any sparse nonzero mapping
+StableState = Union[Sequence[int], SupportsStableItems]
 
 
 class Determinant(NamedTuple):
@@ -69,7 +89,7 @@ class EventSequence:
         "max_clock",
     )
 
-    def __init__(self, creator: int):
+    def __init__(self, creator: int) -> None:
         self.creator = creator
         self._clocks: list[int] = []
         self._dets: list[Determinant] = []
@@ -94,7 +114,7 @@ class EventSequence:
     def min_clock(self) -> Optional[int]:
         return self._clocks[self._offset] if self._offset < len(self._clocks) else None
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Determinant]:
         return iter(self._dets[self._offset :])
 
     def get(self, clock: int) -> Optional[Determinant]:
@@ -258,7 +278,9 @@ class EventSequence:
         i = bisect_right(self._clocks, bound, lo=self._offset)
         return self._dets[i:]
 
-    def index_window(self, bound: int, upto: int) -> tuple[list, int, int]:
+    def index_window(
+        self, bound: int, upto: int
+    ) -> tuple[list[Determinant], int, int]:
         """``(dets, lo, hi)`` such that ``dets[lo:hi]`` are exactly the
         determinants with ``bound < clock <= upto``, clock-ordered.
 
@@ -302,7 +324,7 @@ class EventSequence:
         out += self._dets[i:] if i else self._dets
         return n
 
-    def clocks_upto(self, bound: int):
+    def clocks_upto(self, bound: int) -> list[int]:
         """Live clocks ``<= bound``, ascending.
 
         Copies only the matching prefix (the antecedence graph walks this
@@ -353,7 +375,7 @@ class EventSequence:
 
     # -- checkpoint round-trip ------------------------------------------ #
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         """Checkpointable state: the live determinants plus the prune floor.
 
         ``pruned_upto`` must survive the round-trip: :meth:`merge` relies on
@@ -364,7 +386,7 @@ class EventSequence:
         return {"dets": list(self), "pruned_upto": self.pruned_upto}
 
     @classmethod
-    def from_state(cls, creator: int, state) -> "EventSequence":
+    def from_state(cls, creator: int, state: Any) -> "EventSequence":
         """Rebuild from :meth:`export_state` output (bare determinant lists
         from pre-``pruned_upto`` checkpoint images are accepted too)."""
         seq = cls(creator)
@@ -392,7 +414,7 @@ class GrowthLog:
 
     __slots__ = ("order", "counter", "seq_order", "by_index")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.order: dict[int, int] = {}
         self.counter = 0
         self.seq_order: dict[int, int] = {}
@@ -435,7 +457,7 @@ class StableVector:
 
     __slots__ = ("_v",)
 
-    def __init__(self, nprocs: int):
+    def __init__(self, nprocs: int) -> None:
         self._v = [0] * nprocs
 
     def __getitem__(self, creator: int) -> int:
@@ -448,7 +470,7 @@ class StableVector:
             return True
         return False
 
-    def update(self, vector) -> bool:
+    def update(self, vector: "StableState") -> bool:
         """Merge a stable vector (from an EL ack); True if any moved.
 
         Accepts the dense list form or any sparse mapping of nonzero

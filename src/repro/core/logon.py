@@ -28,22 +28,34 @@ creator rank, so the 16-byte accounting above is unchanged.  See
 
 from __future__ import annotations
 
+from typing import Any
+
 from math import log2
 
 from repro.core.antecedence import AntecedenceGraph
 from repro.core.bounds import BoundVector
-from repro.core.events import Determinant
+from repro.core.events import Determinant, StableState
 from repro.core.piggyback import Piggyback, creator_runs, flat_bytes
 from repro.core.protocol_base import VProtocol
+from repro.metrics.probes import ProcessProbes
+from repro.runtime.config import ClusterConfig
 
 
 class LogOnProtocol(VProtocol):
     """Antecedence-graph causal logging, partial-order piggybacks."""
 
+    __slots__ = ("graph", "known", "peer_clock_seen")
+
     uses_event_logger = True
     name = "logon"
 
-    def __init__(self, rank, nprocs, config, probes):
+    def __init__(
+        self,
+        rank: int,
+        nprocs: int,
+        config: ClusterConfig,
+        probes: ProcessProbes,
+    ) -> None:
         super().__init__(rank, nprocs, config, probes)
         self.graph = AntecedenceGraph(nprocs)
         #: peer -> sparse per-creator clock bounds the peer is known to hold
@@ -160,7 +172,7 @@ class LogOnProtocol(VProtocol):
         self.probes.note_events_held(len(self.graph))
         return cost
 
-    def on_el_ack(self, stable_vector) -> None:
+    def on_el_ack(self, stable_vector: StableState) -> None:
         # unconditional full prune, exactly the pre-worklist behavior: a
         # chain's prune floor is only raised when its window is visited
         # with stable coverage, so stale determinants re-admitted below an
@@ -182,7 +194,7 @@ class LogOnProtocol(VProtocol):
     def scan_events_held(self) -> int:
         return self.graph.scan_size()
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         return {
             "graph": self.graph.export_state(),
             "known": {p: v.export_state() for p, v in self.known.items()},
@@ -190,7 +202,7 @@ class LogOnProtocol(VProtocol):
             "stable": self.stable.as_list(),
         }
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict[str, Any]) -> None:
         self.graph = AntecedenceGraph(self.nprocs)
         self.graph.restore_state(state["graph"])
         self.known = {

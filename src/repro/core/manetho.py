@@ -17,26 +17,38 @@ Events are factored by creator rank on the wire (cheap format, paper
 
 from __future__ import annotations
 
+from typing import Any
+
 from math import log2
 
 from repro.core.antecedence import AntecedenceGraph
 from repro.core.bounds import BoundVector
-from repro.core.events import Determinant
+from repro.core.events import Determinant, StableState
 from repro.core.piggyback import (
     Piggyback,
     creator_runs,
     factored_bytes_from_counts,
 )
 from repro.core.protocol_base import VProtocol
+from repro.metrics.probes import ProcessProbes
+from repro.runtime.config import ClusterConfig
 
 
 class ManethoProtocol(VProtocol):
     """Antecedence-graph causal logging, Manetho traversal strategy."""
 
+    __slots__ = ("graph", "known", "peer_clock_seen")
+
     uses_event_logger = True
     name = "manetho"
 
-    def __init__(self, rank, nprocs, config, probes):
+    def __init__(
+        self,
+        rank: int,
+        nprocs: int,
+        config: ClusterConfig,
+        probes: ProcessProbes,
+    ) -> None:
         super().__init__(rank, nprocs, config, probes)
         self.graph = AntecedenceGraph(nprocs)
         #: peer -> sparse per-creator clock bounds the peer is known to hold
@@ -140,7 +152,7 @@ class ManethoProtocol(VProtocol):
         self.probes.note_events_held(len(self.graph))
         return cost
 
-    def on_el_ack(self, stable_vector) -> None:
+    def on_el_ack(self, stable_vector: StableState) -> None:
         # unconditional full prune, exactly the pre-worklist behavior: a
         # chain's prune floor is only raised when its window is visited
         # with stable coverage, so stale determinants re-admitted below an
@@ -162,7 +174,7 @@ class ManethoProtocol(VProtocol):
     def scan_events_held(self) -> int:
         return self.graph.scan_size()
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         return {
             "graph": self.graph.export_state(),
             "known": {p: v.export_state() for p, v in self.known.items()},
@@ -170,7 +182,7 @@ class ManethoProtocol(VProtocol):
             "stable": self.stable.as_list(),
         }
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict[str, Any]) -> None:
         self.graph = AntecedenceGraph(self.nprocs)
         self.graph.restore_state(state["graph"])
         self.known = {

@@ -13,19 +13,31 @@ as a comparison point in the examples.
 
 from __future__ import annotations
 
-from repro.core.events import Determinant, EventSequence
+from typing import Any
+
+from repro.core.events import Determinant, EventSequence, StableState
 from repro.core.piggyback import Piggyback
 from repro.core.protocol_base import VProtocol
+from repro.metrics.probes import ProcessProbes
+from repro.runtime.config import ClusterConfig
 
 
 class PessimisticProtocol(VProtocol):
     """Synchronous determinant logging; empty piggybacks."""
 
+    __slots__ = ("own",)
+
     uses_event_logger = True
     blocking_on_stability = True
     name = "pessimistic"
 
-    def __init__(self, rank, nprocs, config, probes):
+    def __init__(
+        self,
+        rank: int,
+        nprocs: int,
+        config: ClusterConfig,
+        probes: ProcessProbes,
+    ) -> None:
         super().__init__(rank, nprocs, config, probes)
         #: own events not yet acknowledged by the EL
         self.own = EventSequence(rank)
@@ -38,7 +50,7 @@ class PessimisticProtocol(VProtocol):
         self.own.append(det)
         self.probes.note_events_held(len(self.own))
 
-    def on_el_ack(self, stable_vector) -> None:
+    def on_el_ack(self, stable_vector: StableState) -> None:
         super().on_el_ack(stable_vector)
         self.own.prune_upto(self.stable[self.rank])
 
@@ -52,10 +64,10 @@ class PessimisticProtocol(VProtocol):
     def events_held(self) -> int:
         return len(self.own)
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         return {"own": list(self.own), "stable": self.stable.as_list()}
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict[str, Any]) -> None:
         self.own = EventSequence(self.rank)
         for det in state["own"]:
             self.own.append(det)

@@ -30,20 +30,23 @@ Recovery path:
 
 from __future__ import annotations
 
-import copy
-from typing import TYPE_CHECKING, Optional
+from typing import Any, Optional
 
-from repro.core.events import Determinant, StableVector
+from repro.core.events import Determinant, GrowthLog, StableState, StableVector
+from repro.core.interfaces import DaemonHost
 from repro.core.piggyback import Piggyback
 from repro.metrics.probes import ProcessProbes
 from repro.runtime.config import ClusterConfig
 
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.runtime.daemon import Vdaemon
-
 
 class VProtocol:
     """Base class: no-op hooks, shared bookkeeping."""
+
+    __slots__ = (
+        "rank", "nprocs", "config", "probes", "daemon", "stable",
+        "_send_scan_dense", "_recv_scan_dense", "_worklist_enabled",
+        "_chan_synced",
+    )
 
     #: whether this protocol ships determinants to the Event Logger
     uses_event_logger = False
@@ -52,12 +55,12 @@ class VProtocol:
     #: human-readable protocol name
     name = "base"
 
-    def __init__(self, rank: int, nprocs: int, config: ClusterConfig, probes: ProcessProbes):
+    def __init__(self, rank: int, nprocs: int, config: ClusterConfig, probes: ProcessProbes) -> None:
         self.rank = rank
         self.nprocs = nprocs
         self.config = config
         self.probes = probes
-        self.daemon: Optional["Vdaemon"] = None
+        self.daemon: Optional[DaemonHost] = None
         self.stable = StableVector(nprocs)
         #: bound-vector scan cost model (see ClusterConfig.pb_cost_model).
         #: Dense compatibility mode charges these precomputed ``× nprocs``
@@ -84,7 +87,7 @@ class VProtocol:
         self._worklist_enabled = config.pb_build_worklist
         self._chan_synced: dict[int, int] = {}
 
-    def bind(self, daemon: "Vdaemon") -> None:
+    def bind(self, daemon: DaemonHost) -> None:
         self.daemon = daemon
 
     def _pb_send_scan_cost(self, touched: int) -> float:
@@ -101,7 +104,9 @@ class VProtocol:
             return flat
         return self.config.cost_pb_recv_per_entry_s * touched
 
-    def _build_candidates(self, dst: int, growth, held: int) -> Optional[list[int]]:
+    def _build_candidates(
+        self, dst: int, growth: GrowthLog, held: int
+    ) -> Optional[list[int]]:
         """Creators whose sequences the build loop for ``dst`` must scan.
 
         Returns ``None`` on the full-scan reference path
@@ -158,7 +163,7 @@ class VProtocol:
         """
         return 0.0
 
-    def on_el_ack(self, stable_vector) -> None:
+    def on_el_ack(self, stable_vector: StableState) -> None:
         self.stable.update(stable_vector)
 
     # ------------------------------------------------------------------ #
@@ -185,11 +190,11 @@ class VProtocol:
         """Causal-information bytes that join a checkpoint image."""
         return self.events_held() * self.config.event_record_bytes
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         """Deep-copyable protocol state for a checkpoint image."""
         return {}
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict[str, Any]) -> None:
         """Restore from :meth:`export_state` output (already deep-copied)."""
 
 
@@ -199,6 +204,8 @@ class NoFaultTolerance(VProtocol):
     Equivalent to the MPICH-P4 reference implementation; used to measure
     the raw performance of the generic communication layer.
     """
+
+    __slots__ = ()
 
     name = "vdummy"
 

@@ -30,7 +30,7 @@ class LoggedSend:
 class SenderLog:
     """Volatile, per-destination payload log with checkpoint-driven GC."""
 
-    def __init__(self, rank: int):
+    def __init__(self, rank: int) -> None:
         self.rank = rank
         # dst -> {ssn: LoggedSend}; ssn contiguous per dst
         self._by_dst: dict[int, dict[int, LoggedSend]] = {}
@@ -74,7 +74,7 @@ class SenderLog:
         for log in self._by_dst.values():
             yield from log.values()
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         """Snapshot for a checkpoint image (payloads ride along)."""
         return {
             "by_dst": {d: dict(log) for d, log in self._by_dst.items()},
@@ -82,7 +82,7 @@ class SenderLog:
             "messages_held": self.messages_held,
         }
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict[str, Any]) -> None:
         self._by_dst = {d: dict(log) for d, log in state["by_dst"].items()}
         self.bytes_held = state["bytes_held"]
         self.messages_held = state["messages_held"]

@@ -97,35 +97,10 @@ class Timeline:
 
         cluster.restart_app = restart_app  # type: ignore[method-assign]
 
-        # sends/deliveries/checkpoints via per-daemon wrappers
-        for rank, daemon in cluster.daemons.items():
-            orig_send = daemon.app_send
-
-            def app_send(dst, nbytes, tag=0, payload=None,
-                         _orig=orig_send, _rank=rank):
-                timeline.record(sim.now, "send", _rank, f"-> {dst} ({nbytes} B)")
-                result = yield from _orig(dst, nbytes, tag=tag, payload=payload)
-                return result
-
-            daemon.app_send = app_send  # type: ignore[method-assign]
-
-            orig_hand = daemon._hand_to_app
-
-            def hand_to_app(msg, det, _orig=orig_hand, _rank=rank):
-                timeline.record(
-                    sim.now, "deliver", _rank, f"<- {msg.src} ssn={msg.ssn}"
-                )
-                _orig(msg, det)
-
-            daemon._hand_to_app = hand_to_app  # type: ignore[method-assign]
-
-            orig_ckpt = daemon.take_checkpoint
-
-            def take_checkpoint(_orig=orig_ckpt, _rank=rank):
-                timeline.record(sim.now, "checkpoint", _rank)
-                result = yield from _orig()
-                return result
-
-            daemon.take_checkpoint = take_checkpoint  # type: ignore[method-assign]
+        # sends/deliveries/checkpoints via the daemon's first-class sink
+        # hook (Vdaemon is slotted, so wrapping bound methods in place is
+        # not an option — and the hook costs one None check when detached)
+        for daemon in cluster.daemons.values():
+            daemon.trace_sink = timeline.record
 
         return timeline

@@ -50,7 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.cluster import Cluster
 
 
-@dataclass
+@dataclass(slots=True)
 class WireMessage:
     """Envelope of one daemon-to-daemon message."""
 
@@ -69,6 +69,17 @@ class WireMessage:
 
 class Vdaemon:
     """Per-rank communication daemon + protocol host."""
+
+    __slots__ = (
+        "cluster", "sim", "network", "rank", "spec", "config", "probes",
+        "host", "protocol", "sender_log", "alive", "clock", "ssn_next",
+        "last_ssn", "_proc_busy_until", "_recv_drain", "_plan_send",
+        "_recv_delay_cache", "deliver_to_app", "trace_sink", "in_replay",
+        "recovering", "_replay_dets", "_replay_idx", "_replay_buffer",
+        "_fresh_buffer", "_resend_floor", "_stability_waiters",
+        "_ckpt_pending", "last_ckpt_clock", "_pending_event_replies",
+        "_recovery_proc", "current_recovery",
+    )
 
     def __init__(
         self,
@@ -111,6 +122,9 @@ class Vdaemon:
 
         #: callback into the MPI matching layer; set by MpiContext
         self.deliver_to_app: Optional[Callable[[WireMessage], None]] = None
+        #: lifecycle recorder (time_s, kind, rank, detail); set by
+        #: metrics.trace.Timeline.attach — None means tracing is off
+        self.trace_sink: Optional[Callable[[float, str, int, str], None]] = None
 
         # replay machinery
         self.in_replay = False
@@ -160,6 +174,8 @@ class Vdaemon:
     def app_send(self, dst: int, nbytes: int, tag: int = 0, payload: Any = None):
         """Generator: full send path; returns the assigned ssn."""
         cfg = self.config
+        if self.trace_sink is not None:
+            self.trace_sink(self.sim.now, "send", self.rank, f"-> {dst} ({nbytes} B)")
         if self.protocol.blocking_on_stability:
             # pessimistic logging: wait until all own events are stable
             while getattr(self.protocol, "stability_gap")() > 0:
@@ -219,6 +235,7 @@ class Vdaemon:
     # ------------------------------------------------------------------ #
     # receive path (network delivery callbacks)
 
+    # simlint: hot
     def on_wire(self, msg: WireMessage) -> None:
         if msg.epoch != self.cluster.epoch:
             return  # stale message from before a global restart
@@ -253,6 +270,7 @@ class Vdaemon:
             self._recv_delay_cache[nbytes] = delay
         return delay
 
+    # simlint: hot
     def _on_app_message(self, msg: WireMessage) -> None:
         if self.in_replay or self.recovering:
             key = (msg.src, msg.ssn)
@@ -296,6 +314,12 @@ class Vdaemon:
         return det
 
     def _hand_to_app(self, msg: WireMessage, det: Optional[Determinant]) -> None:
+        if self.trace_sink is not None:
+            # recorded even for a dead rank: the timeline shows the arrival
+            # the crash swallowed, exactly as the old wrapper did
+            self.trace_sink(
+                self.sim.now, "deliver", self.rank, f"<- {msg.src} ssn={msg.ssn}"
+            )
         if not self.alive:
             return
         if self.deliver_to_app is None:
@@ -408,6 +432,8 @@ class Vdaemon:
 
     def take_checkpoint(self):
         """Generator (runs in the app process at a safe poll point)."""
+        if self.trace_sink is not None:
+            self.trace_sink(self.sim.now, "checkpoint", self.rank, "")
         wave = self._ckpt_pending
         self._ckpt_pending = None
         cfg = self.config

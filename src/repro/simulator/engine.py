@@ -67,7 +67,7 @@ class DeadlockError(SimulationError):
     truncated runs.
     """
 
-    def __init__(self, blocked: list[str]):
+    def __init__(self, blocked: list[str]) -> None:
         self.blocked = list(blocked)
         msg = "simulation deadlock; blocked actors: " + ", ".join(blocked)
         super().__init__(msg)
@@ -82,7 +82,7 @@ class EventHandle:
 
     __slots__ = ("_entry",)
 
-    def __init__(self, entry: list):
+    def __init__(self, entry: list) -> None:
         self._entry = entry
 
     @property
@@ -144,14 +144,14 @@ class Simulator:
         "_running",
     )
 
-    def __init__(self, trace: Optional[Callable[[float, str], None]] = None):
+    def __init__(self, trace: Optional[Callable[[float, str], None]] = None) -> None:
         self.now: float = 0.0
         #: heap of timestamps that currently own a bucket
         self._times: list[float] = []
         #: timestamp -> bare entry or FIFO list of entries
-        self._buckets: dict[float, list] = {}
+        self._buckets: dict[float, list[Any]] = {}
         #: now-queue of the timestamp being drained (reused list)
-        self._live: list[list] = []
+        self._live: list[list[Any]] = []
         self._live_time: float = _NO_LIVE
         self._seq = 0
         self._trace = trace
@@ -181,6 +181,7 @@ class Simulator:
         else:
             buckets[time] = [b, entry]
 
+    # simlint: hot
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` ``delay`` seconds from now."""
         if not delay >= 0:  # also catches NaN
@@ -203,6 +204,7 @@ class Simulator:
                 buckets[time] = [b, entry]
         return EventHandle(entry)
 
+    # simlint: hot
     def at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute simulated ``time``."""
         if time < self.now:
@@ -226,6 +228,7 @@ class Simulator:
                 buckets[time] = [b, entry]
         return EventHandle(entry)
 
+    # simlint: hot
     def post(self, time: float, fn: Callable[..., None], *args: Any) -> None:
         """:meth:`at` without an :class:`EventHandle` (hot path).
 
@@ -556,7 +559,7 @@ class ReferenceSimulator(Simulator):
 
     __slots__ = ("_heap",)
 
-    def __init__(self, trace: Optional[Callable[[float, str], None]] = None):
+    def __init__(self, trace: Optional[Callable[[float, str], None]] = None) -> None:
         super().__init__(trace)
         self._heap: list[list] = []
 
@@ -728,9 +731,9 @@ class SerialDrain:
 
     __slots__ = ("sim", "pending", "armed", "_entry")
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator) -> None:
         self.sim = sim
-        self.pending: deque = deque()
+        self.pending: deque[tuple[float, int, Callable[..., None], tuple[Any, ...]]] = deque()
         self.armed = False
         # reusable timer entry: the timer is re-armed only after it fired
         # (its entry left the queue), so one list serves every arming

@@ -37,7 +37,7 @@ from typing import Callable, Optional
 from repro.simulator.engine import SerialDrain, SimulationError, Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class TransferStats:
     """Per-NIC traffic accounting (used by the piggyback-volume probes).
 
@@ -75,13 +75,18 @@ class TransferStats:
 class Nic:
     """One endpoint attached to the switch."""
 
+    __slots__ = (
+        "sim", "name", "bandwidth_bps", "full_duplex",
+        "_tx_busy_until", "_rx_busy_until", "stats", "rx_drain",
+    )
+
     def __init__(
         self,
         sim: Simulator,
         name: str,
         bandwidth_bps: float,
         full_duplex: bool = True,
-    ):
+    ) -> None:
         if bandwidth_bps <= 0:
             raise SimulationError("bandwidth must be positive")
         self.sim = sim
@@ -147,6 +152,12 @@ class Network:
     goodput_factor: fraction of the raw wire rate achievable by TCP payload
     """
 
+    __slots__ = (
+        "sim", "bandwidth_bps", "latency_s", "per_message_overhead_bytes",
+        "goodput_factor", "nics", "total_messages",
+        "total_logical_messages", "total_chunk_messages", "total_bytes",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -154,7 +165,7 @@ class Network:
         latency_s: float = 55e-6,
         per_message_overhead_bytes: int = 66,
         goodput_factor: float = 0.93,
-    ):
+    ) -> None:
         self.sim = sim
         self.bandwidth_bps = float(bandwidth_bps)
         self.latency_s = float(latency_s)
@@ -194,6 +205,7 @@ class Network:
     def nic(self, name: str) -> Nic:
         return self.nics[name]
 
+    # simlint: hot
     def transfer(
         self,
         src: str,

@@ -41,7 +41,7 @@ class Future:
 
     __slots__ = ("sim", "resolved", "value", "_waiter", "label", "cancelled")
 
-    def __init__(self, sim: Simulator, label: str = "future"):
+    def __init__(self, sim: Simulator, label: str = "future") -> None:
         self.sim = sim
         self.resolved = False
         self.cancelled = False
@@ -88,13 +88,19 @@ class SimProcess:
         generator returns normally.
     """
 
+    __slots__ = (
+        "sim", "name", "gen_factory", "on_exit", "gen", "alive",
+        "finished", "result", "incarnation", "_waiting_on",
+        "started_at", "ended_at",
+    )
+
     def __init__(
         self,
         sim: Simulator,
         name: str,
         gen_factory: Callable[[], SimGenerator],
         on_exit: Optional[Callable[["SimProcess", Any], None]] = None,
-    ):
+    ) -> None:
         self.sim = sim
         self.name = name
         self.gen_factory = gen_factory

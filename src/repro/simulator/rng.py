@@ -17,7 +17,7 @@ import numpy as np
 class SeedSequenceStream:
     """Factory of independent, named :class:`numpy.random.Generator` streams."""
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
 
     def generator(self, name: str) -> np.random.Generator:

@@ -1,0 +1,18 @@
+# simlint fixture: env-read rule (positive / suppressed / clean).
+import os
+
+
+def bad() -> str | None:
+    return os.getenv("PATH")  # expect: env-read
+
+
+def bad_mapping() -> str:
+    return os.environ["HOME"]  # expect: env-read
+
+
+def suppressed() -> str | None:
+    return os.getenv("TERM")  # simlint: ignore[env-read] - fixture: suppressed hit
+
+
+def clean(setting: str) -> str:
+    return setting

@@ -1,0 +1,28 @@
+# simlint fixture: hot-closure rule (positive / suppressed / clean).
+from typing import Callable
+
+
+# simlint: hot
+def bad_lambda() -> Callable[[int], int]:
+    return lambda x: x + 1  # expect: hot-closure
+
+
+def bad_nested() -> Callable[[], int]:  # simlint: hot
+    def inner() -> int:  # expect: hot-closure
+        return 1
+
+    return inner
+
+
+# simlint: hot
+def suppressed() -> Callable[[int], int]:
+    return lambda x: x - 1  # simlint: ignore[hot-closure] - fixture: suppressed hit
+
+
+def clean_not_hot() -> Callable[[int], int]:
+    return lambda x: x * 2
+
+
+# simlint: hot
+def clean_hot(x: int) -> int:
+    return x * 2

@@ -1,0 +1,13 @@
+# simlint fixture: id-order rule (positive / suppressed / clean).
+
+
+def bad(obj: object) -> int:
+    return id(obj)  # expect: id-order
+
+
+def suppressed(obj: object) -> int:
+    return id(obj)  # simlint: ignore[id-order] - fixture: suppressed hit
+
+
+def clean(rank: int) -> int:
+    return rank

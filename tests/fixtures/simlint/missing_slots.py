@@ -1,0 +1,38 @@
+# simlint fixture: missing-slots rule (positive / suppressed / clean).
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Bad:  # expect: missing-slots
+    def __init__(self) -> None:
+        self.x = 1
+
+
+@dataclass
+class BadDataclass:  # expect: missing-slots
+    x: int = 0
+
+
+class Suppressed:  # simlint: ignore[missing-slots] - fixture: suppressed hit
+    def __init__(self) -> None:
+        self.x = 1
+
+
+class Clean:
+    __slots__ = ("x",)
+
+    def __init__(self) -> None:
+        self.x = 1
+
+
+@dataclass(slots=True)
+class CleanDataclass:
+    x: int = 0
+
+
+class CleanExemptError(ValueError):
+    pass
+
+
+class CleanEnum(Enum):
+    A = 1

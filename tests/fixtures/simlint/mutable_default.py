@@ -1,0 +1,18 @@
+# simlint fixture: mutable-default rule (positive / suppressed / clean).
+from typing import Optional
+
+
+def bad(xs=[]) -> list[int]:  # expect: mutable-default
+    return xs
+
+
+def bad_call(m=dict()) -> dict[str, int]:  # expect: mutable-default
+    return m
+
+
+def suppressed(xs={}) -> dict[str, int]:  # simlint: ignore[mutable-default] - fixture: suppressed hit
+    return xs
+
+
+def clean(xs: Optional[list[int]] = None) -> list[int]:
+    return [] if xs is None else xs

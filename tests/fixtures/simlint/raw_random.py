@@ -1,0 +1,24 @@
+# simlint fixture: raw-random rule (positive / suppressed / clean).
+import random  # expect: raw-random
+
+import numpy as np
+
+
+def bad() -> float:
+    return random.random()  # expect: raw-random
+
+
+def bad_unseeded() -> object:
+    return np.random.default_rng()  # expect: raw-random
+
+
+def bad_global_state() -> float:
+    return np.random.rand()  # expect: raw-random
+
+
+def suppressed() -> float:
+    return random.random()  # simlint: ignore[raw-random] - fixture: suppressed hit
+
+
+def clean(seed: int) -> object:
+    return np.random.default_rng(seed)

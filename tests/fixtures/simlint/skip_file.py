@@ -1,0 +1,7 @@
+# simlint fixture: whole-file opt-out.
+# simlint: skip-file
+import time
+
+
+def would_be_flagged() -> float:
+    return time.time()

@@ -1,0 +1,3 @@
+# simlint fixture: syntax-error meta-rule (this file must not parse).
+def broken(:
+    pass

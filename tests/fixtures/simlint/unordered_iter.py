@@ -1,0 +1,29 @@
+# simlint fixture: unordered-iter rule (positive / suppressed / clean).
+import os
+
+
+def bad() -> list[int]:
+    out: list[int] = []
+    for x in {3, 1, 2}:  # expect: unordered-iter
+        out.append(x)
+    return out
+
+
+def bad_tracked_name() -> list[int]:
+    seen = set([5, 4])
+    return [x for x in seen]  # expect: unordered-iter
+
+
+def bad_listing(path: str) -> list[str]:
+    return os.listdir(path)  # expect: unordered-iter
+
+
+def suppressed() -> list[int]:
+    acc = []
+    for x in {9, 8}:  # simlint: ignore[unordered-iter] - fixture: suppressed hit
+        acc.append(x)
+    return acc
+
+
+def clean() -> list[int]:
+    return [x for x in sorted({3, 1, 2})]

@@ -1,0 +1,4 @@
+# simlint fixture: unused-ignore meta-rule.
+X = 1  # simlint: ignore[wall-clock] - expect: unused-ignore (stale suppression)
+Y = 2  # simlint: ignore[no-such-rule] - expect: unused-ignore (unknown rule)
+Z = 3

@@ -1,0 +1,16 @@
+# simlint fixture: wall-clock rule (positive / suppressed / clean).
+# Lines tagged `# expect: <rule>` must yield exactly one unsuppressed
+# finding of that rule; everything else must be clean.
+import time
+
+
+def bad() -> float:
+    return time.time()  # expect: wall-clock
+
+
+def suppressed() -> float:
+    return time.time()  # simlint: ignore[wall-clock] - fixture: suppressed hit
+
+
+def clean(now: float) -> float:
+    return now + 1.0

@@ -1,0 +1,218 @@
+"""simlint analyzer tests + the repo-wide static-analysis gates.
+
+Three layers:
+
+* fixture tests — every rule has a fixture file under
+  ``tests/fixtures/simlint/`` with a positive hit (tagged
+  ``# expect: <rule>``), a suppressed hit and a clean negative; the
+  analyzer must find exactly the tagged lines and nothing else;
+* behavior tests — suppression bookkeeping (unused/unknown ignores),
+  ``skip-file``, hot markers, config loading, deterministic discovery;
+* gate tests — simlint runs clean on ``src/`` and ``tools/`` (the tier-1
+  analogue of ``python -m tools.simlint src tools``), and mypy --strict
+  passes on the typed packages when mypy is installed (skipped otherwise;
+  the CI image bakes only the runtime toolchain).
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:  # `tools` lives at the repo root
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.simlint.config import DEFAULT_SCOPES, Config, load_config  # noqa: E402
+from tools.simlint.rules import RULES  # noqa: E402
+from tools.simlint.runner import iter_python_files, lint_file, lint_paths  # noqa: E402
+
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "simlint"
+
+#: every rule active everywhere, nothing excluded — fixtures opt in to
+#: exactly the behavior they exercise
+ALL_ON = Config(
+    scopes={rule: ["*"] for rule in RULES},
+    rng_modules=[],
+    exclude=[],
+)
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*([a-z-]+)")
+
+RULE_FIXTURES = [
+    "wall_clock.py",
+    "raw_random.py",
+    "unordered_iter.py",
+    "id_order.py",
+    "env_read.py",
+    "missing_slots.py",
+    "hot_closure.py",
+    "mutable_default.py",
+]
+
+
+def expected_hits(path: Path) -> dict[int, str]:
+    """line -> rule for every ``# expect: <rule>`` tag in a fixture."""
+    hits = {}
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        m = _EXPECT_RE.search(line)
+        if m:
+            hits[lineno] = m.group(1)
+    return hits
+
+
+# --------------------------------------------------------------------- #
+# fixtures: positive / suppressed / clean per rule
+
+
+@pytest.mark.parametrize("name", RULE_FIXTURES)
+def test_rule_fixture(name):
+    path = FIXTURES / name
+    expected = expected_hits(path)
+    assert expected, f"fixture {name} has no # expect tags"
+    findings = lint_file(path, REPO_ROOT, ALL_ON)
+    unsuppressed = {f.line: f.rule for f in findings if not f.suppressed}
+    assert unsuppressed == expected
+    # the suppressed hit is really found *and* really suppressed
+    suppressed = [f for f in findings if f.suppressed]
+    assert suppressed, f"fixture {name} has no suppressed hit"
+    # a suppression that fired is not double-reported as unused
+    assert all(f.rule != "unused-ignore" for f in findings)
+
+
+def test_fixture_rules_cover_every_real_rule():
+    covered = set()
+    for name in RULE_FIXTURES:
+        covered.update(expected_hits(FIXTURES / name).values())
+    assert covered == set(RULES) - {"unused-ignore", "syntax-error"}
+
+
+# --------------------------------------------------------------------- #
+# suppression bookkeeping, skip-file, syntax errors
+
+
+def test_unused_and_unknown_ignores_are_findings():
+    findings = lint_file(FIXTURES / "unused_ignore.py", REPO_ROOT, ALL_ON)
+    by_line = {f.line: f for f in findings}
+    assert set(by_line) == {2, 3}
+    assert all(f.rule == "unused-ignore" for f in findings)
+    assert "matches no finding" in by_line[2].message
+    assert "unknown rule" in by_line[3].message
+
+
+def test_unused_ignores_can_be_waived():
+    config = Config(
+        scopes={rule: ["*"] for rule in RULES},
+        rng_modules=[],
+        exclude=[],
+        warn_unused_ignores=False,
+    )
+    assert lint_file(FIXTURES / "unused_ignore.py", REPO_ROOT, config) == []
+
+
+def test_skip_file_opts_out():
+    assert lint_file(FIXTURES / "skip_file.py", REPO_ROOT, ALL_ON) == []
+
+
+def test_syntax_error_is_a_finding():
+    findings = lint_file(FIXTURES / "syntax_error.py", REPO_ROOT, ALL_ON)
+    assert len(findings) == 1
+    assert findings[0].rule == "syntax-error"
+    assert not findings[0].suppressed
+
+
+def test_wildcard_suppression(tmp_path):
+    src = "import time\nx = time.time()  # simlint: ignore[*] - fixture\n"
+    f = tmp_path / "wild.py"
+    f.write_text(src)
+    findings = lint_file(f, tmp_path, ALL_ON)
+    assert [f.rule for f in findings if not f.suppressed] == []
+    assert any(f.suppressed for f in findings)
+
+
+# --------------------------------------------------------------------- #
+# configuration
+
+
+def test_scope_restricts_rules(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    f = tmp_path / "pkg" / "mod.py"
+    f.write_text("import time\nx = time.time()\n")
+    in_scope = Config(scopes={"wall-clock": ["pkg/*"]}, exclude=[])
+    out_of_scope = Config(scopes={"wall-clock": ["other/*"]}, exclude=[])
+    assert [x.rule for x in lint_file(f, tmp_path, in_scope)] == ["wall-clock"]
+    assert lint_file(f, tmp_path, out_of_scope) == []
+
+
+def test_pyproject_overlay(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.simlint]\n"
+        'exclude = ["generated/*"]\n'
+        "[tool.simlint.scopes]\n"
+        '"wall-clock" = ["only/here/*"]\n'
+    )
+    config = load_config(tmp_path)
+    assert config.exclude == ["generated/*"]
+    assert config.scopes["wall-clock"] == ["only/here/*"]
+    # untouched rules keep their defaults
+    assert config.scopes["mutable-default"] == DEFAULT_SCOPES["mutable-default"]
+
+
+def test_repo_config_excludes_fixtures():
+    config = load_config(REPO_ROOT)
+    files = iter_python_files([REPO_ROOT / "tests"], REPO_ROOT, config)
+    assert not [p for p in files if "fixtures" in p.parts]
+
+
+def test_discovery_is_sorted():
+    config = load_config(REPO_ROOT)
+    files = iter_python_files([REPO_ROOT / "src", REPO_ROOT / "tools"], REPO_ROOT, config)
+    assert files == sorted(files)
+    assert any(p.name == "engine.py" for p in files)
+
+
+# --------------------------------------------------------------------- #
+# repo gates
+
+
+def test_simlint_clean_on_src_and_tools():
+    """The tier-1 analogue of ``python -m tools.simlint src tools``."""
+    config = load_config(REPO_ROOT)
+    findings = lint_paths(
+        [REPO_ROOT / "src", REPO_ROOT / "tools"], REPO_ROOT, config
+    )
+    unsuppressed = [f.render() for f in findings if not f.suppressed]
+    assert unsuppressed == []
+
+
+def test_simlint_cli_entry():
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.simlint", "src", "tools"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 finding(s)" in proc.stdout
+
+
+def test_mypy_strict_on_typed_packages():
+    """mypy --strict on the compiled-core on-ramp packages.
+
+    Skipped when mypy is not installed (install via ``pip install -e
+    .[dev]``); configuration lives in ``pyproject.toml``.
+    """
+    pytest.importorskip("mypy")
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,5 @@
+"""Developer tooling for the repository (not shipped with the package).
+
+Currently one tool lives here: :mod:`tools.simlint`, the determinism &
+hot-path static analyzer that gates ``src/`` (see ``docs/ANALYSIS.md``).
+"""

@@ -1,0 +1,38 @@
+"""simlint — determinism & hot-path static analysis for the simulator.
+
+Every claim this reproduction makes rests on the simulation being
+*deterministic by construction*: recorded BENCH checksums must be
+bit-identical across runs, and fault runs must fold to their fault-free
+references.  A stray wall-clock read, an unseeded random draw or an
+unordered ``set`` iteration feeding event scheduling would break that
+silently.  ``simlint`` is an AST-based analyzer (stdlib :mod:`ast`, no
+runtime dependencies) that enforces those properties, plus the
+allocation-discipline rules the compiled-core roadmap item needs
+(``__slots__`` on hot-state classes, no closure allocation in functions
+marked ``# simlint: hot``, no mutable default arguments).
+
+Usage::
+
+    python -m tools.simlint src/ tools/          # lint, exit 1 on findings
+    python -m tools.simlint --rules              # list the rule catalogue
+
+Per-line suppression (requires a justification after the ``-``)::
+
+    t0 = time.time()  # simlint: ignore[wall-clock] - host-side progress timer
+
+See ``docs/ANALYSIS.md`` for the rule catalogue and the relationship to
+the reference-pair/checksum methodology in ``docs/BENCHMARKING.md``.
+"""
+
+from tools.simlint.config import Config, load_config
+from tools.simlint.rules import RULES, Finding
+from tools.simlint.runner import lint_file, lint_paths
+
+__all__ = [
+    "Config",
+    "Finding",
+    "RULES",
+    "lint_file",
+    "lint_paths",
+    "load_config",
+]

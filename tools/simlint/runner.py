@@ -1,0 +1,145 @@
+"""simlint driver: file discovery, suppression comments, reporting.
+
+Suppression syntax (per physical line, justification required)::
+
+    x = time.time()  # simlint: ignore[wall-clock] - host-side timer only
+    y = foo()        # simlint: ignore[rule-a,rule-b] - spans two rules
+    z = bar()        # simlint: ignore[*] - everything on this line
+
+A whole file opts out with ``# simlint: skip-file`` in its first ten
+lines (used by test fixtures).  Functions are marked hot with a
+``# simlint: hot`` comment on (or immediately above) their ``def`` line.
+
+Unused suppressions are themselves findings (rule ``unused-ignore``)
+unless ``warn_unused_ignores`` is disabled — a justification must not
+outlive the violation it excuses.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from pathlib import Path
+
+from tools.simlint.config import Config
+from tools.simlint.rules import RULES, Finding, RuleVisitor
+
+_IGNORE_RE = re.compile(r"#\s*simlint:\s*ignore\[([^\]]+)\]")
+_HOT_RE = re.compile(r"#\s*simlint:\s*hot\b")
+_SKIP_RE = re.compile(r"#\s*simlint:\s*skip-file\b")
+
+
+def _parse_markers(
+    source: str,
+) -> tuple[dict[int, set[str]], set[int], bool]:
+    """(ignores per line, hot-marker lines, skip-file) from raw source."""
+    ignores: dict[int, set[str]] = {}
+    hot_lines: set[int] = set()
+    skip = False
+    # real COMMENT tokens only: the marker regexes must not fire on
+    # docstrings *about* the marker syntax (this module's, for one)
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT or "simlint" not in tok.string:
+                continue
+            lineno = tok.start[0]
+            m = _IGNORE_RE.search(tok.string)
+            if m is not None:
+                rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+                ignores[lineno] = rules
+            if _HOT_RE.search(tok.string):
+                hot_lines.add(lineno)
+            if lineno <= 10 and _SKIP_RE.search(tok.string):
+                skip = True
+    except tokenize.TokenError:
+        pass  # ast.parse will report the real syntax error
+    return ignores, hot_lines, skip
+
+
+def lint_file(path: Path, root: Path, config: Config) -> list[Finding]:
+    """Lint one file; returns every finding, suppressed ones included."""
+    relpath = path.resolve().relative_to(root.resolve()).as_posix()
+    active = config.active_rules(relpath)
+    if not active:
+        return []
+    source = path.read_text(encoding="utf-8")
+    ignores, hot_lines, skip = _parse_markers(source)
+    if skip:
+        return []
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(relpath, exc.lineno or 1, 1, "syntax-error", exc.msg or "?")
+        ]
+    visitor = RuleVisitor(
+        relpath,
+        active,
+        hot_lines,
+        rng_module=config.is_rng_module(relpath),
+    )
+    visitor.visit(tree)
+
+    findings: list[Finding] = []
+    used_ignores: dict[int, set[str]] = {}
+    for f in visitor.findings:
+        allowed = ignores.get(f.line, set())
+        if f.rule in allowed or "*" in allowed:
+            findings.append(
+                Finding(f.path, f.line, f.col, f.rule, f.message, suppressed=True)
+            )
+            used_ignores.setdefault(f.line, set()).add(
+                f.rule if f.rule in allowed else "*"
+            )
+        else:
+            findings.append(f)
+    if config.warn_unused_ignores:
+        for lineno, rules in sorted(ignores.items()):
+            used = used_ignores.get(lineno, ())
+            for rule in sorted(rules):
+                if rule != "*" and rule not in RULES:
+                    msg = f"unknown rule `{rule}` in suppression"
+                elif rule not in used:
+                    msg = f"suppression of `{rule}` matches no finding on this line"
+                else:
+                    continue
+                findings.append(Finding(relpath, lineno, 1, "unused-ignore", msg))
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: list[Path], root: Path, config: Config) -> list[Path]:
+    """Python files under ``paths``, sorted for deterministic output."""
+    files: list[Path] = []
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                files.append(path)
+            continue
+        for dirpath, dirnames, filenames in sorted(os.walk(path)):
+            dirnames.sort()
+            reldir = Path(dirpath).resolve().relative_to(root.resolve()).as_posix()
+            if config.excluded(reldir):
+                dirnames.clear()
+                continue
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                rel = f"{reldir}/{name}" if reldir != "." else name
+                if not config.excluded(rel):
+                    files.append(Path(dirpath) / name)
+    return sorted(set(files))
+
+
+def lint_paths(
+    paths: list[Path], root: Path, config: Config
+) -> list[Finding]:
+    """Lint every python file under ``paths`` (files or directories)."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths, root, config):
+        findings.extend(lint_file(path, root, config))
+    return findings
