@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import datetime
+import gc
 import json
 import platform
 import re
@@ -193,20 +194,23 @@ def nas(bench: str, nprocs: int, stack: str, iterations: int):
 
 def nas_sparse(
     bench: str, nprocs: int, stack: str, iterations: int, inner=None,
-    coalesce: bool = True,
+    coalesce: bool = True, fastpath: bool = True,
 ):
     """Scale scenario: sparse bound vectors + per-entry cost model.
 
     The 256/512-rank regime the dense ``× nprocs`` formulas could not
-    credibly reach; ``inner`` truncates CG's inner loop in quick mode and
+    credibly reach; ``inner`` truncates CG's inner loop in quick mode,
     ``coalesce=False`` selects the reference engine for the
-    coalesced-vs-reference pair (identical checksums required).
+    coalesced-vs-reference pair, and ``fastpath=False`` the layered
+    delivery stack for the fused-vs-reference dispatch pair (identical
+    checksums required on both pairs).
     """
     from repro.experiments.common import run_nas
     from repro.runtime.config import ClusterConfig
 
     cfg = ClusterConfig().with_overrides(
-        pb_cost_model="sparse", engine_coalesce=coalesce
+        pb_cost_model="sparse", engine_coalesce=coalesce,
+        delivery_fastpath=fastpath,
     )
     result, _info = run_nas(
         bench, "A", nprocs, stack, iterations=iterations, config=cfg,
@@ -482,9 +486,15 @@ def scenarios(quick: bool) -> dict:
             "nas_cg256_sparse_engine_ref": lambda: nas_sparse(
                 "cg", 256, "vcausal", 1, inner=3, coalesce=False
             ),
+            "nas_cg256_sparse_dispatch_ref": lambda: nas_sparse(
+                "cg", 256, "vcausal", 1, inner=3, fastpath=False
+            ),
             "nas_cg512_vcausal_sparse": lambda: nas_sparse(
                 "cg", 512, "vcausal", 1, inner=1
             ),
+            "nas_bt16_vcausal_sparse": lambda: nas_sparse("bt", 16, "vcausal", 1),
+            "nas_sp16_vcausal_sparse": lambda: nas_sparse("sp", 16, "vcausal", 1),
+            "nas_ft16_vcausal_sparse": lambda: nas_sparse("ft", 16, "vcausal", 1),
             "nas_cg8_vcausal_fault": lambda: nas_fault("cg", 8, "vcausal", 2, 0.25),
             "nas_lu16_el_saturation": lambda: nas_el_saturation(
                 "lu", 16, "vcausal", 1
@@ -529,6 +539,15 @@ def scenarios(quick: bool) -> dict:
         "nas_cg512_vcausal_sparse": lambda: nas_sparse(
             "cg", 512, "vcausal", 1, inner=3
         ),
+        "nas_cg512_sparse_dispatch_ref": lambda: nas_sparse(
+            "cg", 512, "vcausal", 1, inner=3, fastpath=False
+        ),
+        "nas_cg1024_vcausal_sparse": lambda: nas_sparse(
+            "cg", 1024, "vcausal", 1, inner=1
+        ),
+        "nas_bt64_vcausal_sparse": lambda: nas_sparse("bt", 64, "vcausal", 1),
+        "nas_sp64_vcausal_sparse": lambda: nas_sparse("sp", 64, "vcausal", 1),
+        "nas_ft64_vcausal_sparse": lambda: nas_sparse("ft", 64, "vcausal", 1),
         "nas_cg8_vcausal_fault": lambda: nas_fault("cg", 8, "vcausal", 6, 0.75),
         "nas_lu16_el_saturation": lambda: nas_el_saturation("lu", 16, "vcausal", 6),
         "nas_cg256_el16_multicast": lambda: nas_sharded_el(
@@ -579,7 +598,65 @@ def profile_scenario(name: str, quick: bool, top: int = 20) -> int:
     print(f"{name}: {events:,} simulated events ({'quick' if quick else 'full'} size)")
     stats = pstats.Stats(profiler)
     stats.sort_stats("cumulative").print_stats(top)
+    # label the fused dispatch frames so before/after frame counts are
+    # visible: with delivery_fastpath on these closures replace the
+    # layered on_wire/_on_app_message/_hand_to_app/app_send chain
+    print("[fused] dispatch frames (runtime/fastpath.py closures):")
+    stats.print_stats(r"fastpath\.py")
     return 0
+
+
+def dispatch_microbench(n: int = 50_000, passes: int = 3) -> dict:
+    """Host-wall A/B of the fused vs the layered receive dispatch.
+
+    Delivers ``n`` pre-built app messages straight into rank 1's wire
+    sink on identically wired 2-rank clusters (``delivery_fastpath`` on
+    vs off).  The vdummy stack keeps per-message protocol work
+    negligible, so the ratio isolates exactly the dispatch frames the
+    fastpath removes; simulated state is irrelevant (nothing is run).
+    Returns both best-of-``passes`` walls; the tier-1 smoke asserts a
+    fused-is-faster floor on the ratio.
+    """
+    from repro.runtime.cluster import Cluster
+    from repro.runtime.config import ClusterConfig
+    from repro.runtime.daemon import WireMessage
+
+    def one_wall(fastpath: bool) -> float:
+        cfg = ClusterConfig().with_overrides(delivery_fastpath=fastpath)
+        cluster = Cluster(
+            nprocs=2,
+            app_factory=lambda ctx: iter(()),
+            stack="vdummy",
+            config=cfg,
+        )
+        sink = cluster.daemons[1].wire_sink
+        msgs = [
+            WireMessage(kind="app", src=0, dst=1, ssn=i + 1, nbytes=64)
+            for i in range(n)
+        ]
+        for m in msgs[:256]:  # warm caches before the timed stretch
+            sink(m)
+        # a collection landing inside one timed stretch but not the other
+        # swamps the few-µs-per-message signal (a full --run-bench leaves
+        # plenty of garbage behind), so the timed region runs GC-free
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            for m in msgs[256:]:
+                sink(m)
+            return time.perf_counter() - t0
+        finally:
+            gc.enable()
+
+    fused = min(one_wall(True) for _ in range(passes))
+    layered = min(one_wall(False) for _ in range(passes))
+    return {
+        "fused_s": round(fused, 6),
+        "layered_s": round(layered, 6),
+        "speedup": round(layered / fused, 3) if fused > 0 else None,
+        "messages": n - 256,
+    }
 
 
 # --------------------------------------------------------------------- #

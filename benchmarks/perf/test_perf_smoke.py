@@ -82,6 +82,19 @@ def test_quick_mode_runs_in_seconds_and_is_deterministic():
     assert outage["ckpt_ticks_skipped"] >= 1
     assert outage["recoveries"] == 1
     assert outage["result_fold"] == ck_ref["result_fold"]
+    # ... and the fused-dispatch pair: the wiring-time-compiled delivery
+    # closures (delivery_fastpath, the default every scenario above runs
+    # under) must be bit-identical to the layered reference chain, and the
+    # dispatch microbench must show the fusion actually removes frame
+    # overhead (recorded runs show well above the floor; 1.2x tolerates CI
+    # noise on a loaded box)
+    disp_ref = results["nas_cg256_sparse_dispatch_ref"]["checksum"]
+    assert coal == disp_ref
+    mb = run_bench.dispatch_microbench(n=20_000, passes=2)
+    assert mb["speedup"] >= 1.2, (
+        f"fused dispatch speedup regressed: layered {mb['layered_s']}s "
+        f"vs fused {mb['fused_s']}s ({mb['speedup']}x)"
+    )
     # the infra scenarios run at full size even in quick mode, so this smoke
     # run must reproduce the recorded BENCH_6 checksums bit-for-bit — the
     # robustness scenarios cannot rot between full --run-bench runs

@@ -224,6 +224,13 @@ class EventLoggerGroup:
         if count == 1 or sync_strategy == "tree":
             for shard in self.shards:
                 shard._merged_log = None
+        # journal-backed acks require the ack vector to advance only
+        # through _note_stable_advance; sharded groups also advance it by
+        # absorbing peer views and disk rebuilds, so their acks stay plain
+        # snapshots (receivers fall back to the full-vector fold)
+        if count > 1:
+            for shard in self.shards:
+                shard._ack_fast = False
         self.sync_rounds = 0
         self.sync_bytes = 0
         #: shard-to-shard sync messages (excludes broadcast-to-node pushes,

@@ -33,6 +33,34 @@ from repro.simulator.network import Network
 EL_HOST = "el"
 
 
+class ElAck(BoundVector):
+    """A stable-vector ack that also carries its logger's advance journal.
+
+    Behaves exactly like the :class:`BoundVector` snapshot it wraps (all
+    protocols consume it through ``items()``), plus three fields that let
+    a receiver which has folded ``src``'s acks *exclusively* replace the
+    full-vector rescan with the journal slice ``log[pos:upto]`` — the
+    entries that actually moved since the ack it last processed.  Acks
+    from one logger to one daemon are served and delivered FIFO, so
+    ``upto`` is monotone per receiver and the slice fold is exact.
+    """
+
+    __slots__ = ("src", "log", "upto")
+
+    def __init__(
+        self,
+        vector: BoundVector,
+        src: "EventLogger",
+        log: list[tuple[int, int]],
+        upto: int,
+    ) -> None:
+        # adopt the fresh per-ack snapshot dict (no extra copy)
+        self.data = vector.data
+        self.src = src
+        self.log = log
+        self.upto = upto
+
+
 class EventLogger:
     """Single-threaded stable storage for determinants."""
 
@@ -65,6 +93,25 @@ class EventLogger:
         #: creator -> highest contiguous stored clock (sparse: only creators
         #: that have logged something carry an entry)
         self.stable_clock = BoundVector()
+        #: append-only journal of every (creator, clock) stable advance, in
+        #: advance order.  Acks from a journal-valid logger ship as
+        #: :class:`ElAck` carrying (journal, position): a receiver that has
+        #: folded this logger's acks exclusively knows its stable view
+        #: equals the journal prefix it has consumed, so the next ack only
+        #: has to fold the slice since its position — the moved entries —
+        #: instead of rescanning the whole vector (see
+        #: ``VcausalProtocol.on_el_ack``).  One tuple per stored
+        #: determinant, i.e. no larger than ``store`` itself.
+        self._ack_log: list[tuple[int, int]] = []
+        #: False when the ack vector can advance outside
+        #: :meth:`_note_stable_advance` (sharded groups: peer-view absorbs,
+        #: disk failover rebuilds) — the journal then no longer mirrors
+        #: the vector and acks fall back to plain snapshots.
+        # With the fused-dispatch knob off the receiver fast path never
+        # consumes the journal, so maintaining it (and wrapping acks in
+        # ElAck) would be pure host-side overhead the layered reference
+        # stack should not pay; wire bytes are identical either way.
+        self._ack_fast = bool(config.delivery_fastpath)
         self._busy_until = 0.0
         self._queued = 0
         # The select loop completes services in strictly increasing
@@ -141,6 +188,10 @@ class EventLogger:
         # ack with the full stable vector, after a small batching delay
         vector = self._ack_vector()
         ack_bytes = self.config.el_ack_wire_bytes + self.ack_vector_bytes(vector)
+        if self._ack_fast:
+            # same snapshot + the journal handle; wire bytes are unchanged
+            # (the journal is receiver-side bookkeeping, not wire payload)
+            vector = ElAck(vector, self, self._ack_log, len(self._ack_log))
         self.network.transfer(
             self.host,
             ack_host,
@@ -159,6 +210,8 @@ class EventLogger:
         if det.clock == stable.get(det.creator, 0) + 1:
             # advance over any contiguous run already buffered
             stable[det.creator] = det.clock
+            if self._ack_fast:
+                self._ack_log.append((det.creator, det.clock))
             self._note_stable_advance(det.creator, det.clock)
         elif det.clock > stable.get(det.creator, 0) + 1:
             # hole (lost in-flight log before a crash): keep, but stability

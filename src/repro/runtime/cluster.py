@@ -34,6 +34,7 @@ from repro.runtime.config import STACKS, ClusterConfig, StackSpec
 from repro.runtime.daemon import Vdaemon
 from repro.runtime.dispatcher import Dispatcher
 from repro.runtime.failure import FaultPlan
+from repro.runtime.fastpath import install_fastpath
 from repro.runtime.retry import RetryChannel, RetryPolicy, RetryStats
 from repro.simulator.engine import Simulator, make_simulator
 from repro.simulator.network import Network
@@ -141,6 +142,11 @@ class Cluster:
             daemon = Vdaemon(self, r, self.spec, self.config, self.probes.rank(r))
             self.daemons[r] = daemon
             self.contexts[r] = MpiContext(self, r, daemon)
+        if self.config.delivery_fastpath:
+            # compile per-endpoint fused delivery closures and swap them
+            # in at the wire_sink / ctx.send seams (bit-identical to the
+            # layered reference path; see runtime/fastpath.py)
+            install_fastpath(self)
 
         if self.event_logger is not None:
             self.event_logger.active_check = lambda: not self.finished

@@ -118,6 +118,24 @@ class ClusterConfig:
     engine_coalesce: bool = True
 
     # ---------------------------------------------------------------- #
+    # Per-message delivery dispatch.  True (default) compiles, at cluster
+    # wiring time, per-(protocol, channel) fused delivery closures: the
+    # send pipeline (piggyback build -> cost charge -> wire) and the
+    # receive pipeline (NIC delivery -> daemon accept -> protocol accept ->
+    # MPI matching -> process resume) each become one flat closure that
+    # binds its reset-stable hot state once, instead of the 6-8 method
+    # frames per message of the layered stack; the EL ack path rides an
+    # append-only stable-advance journal so each ack folds only the
+    # entries that actually moved.  This is a *host wall-clock*
+    # optimisation: every engine scheduling call is issued in the same
+    # order with the same timestamps, so all simulated results are
+    # bit-identical to the layered path (property-tested in
+    # tests/test_dispatch_fastpath.py).  False keeps the layered
+    # reference implementation for A/B benchmarking
+    # (``benchmarks/perf/run_bench.py`` records both).
+    delivery_fastpath: bool = True
+
+    # ---------------------------------------------------------------- #
     # Compute node (AthlonXP 2800+ effective throughput on NAS kernels)
     node_flops: float = 320e6
 

@@ -64,7 +64,9 @@ class WireMessage:
     pb: Piggyback = field(default_factory=Piggyback)
     dep: int = 0
     epoch: int = 0
-    meta: dict = field(default_factory=dict)
+    # only control messages carry metadata (and always pass it
+    # explicitly); None on the app path saves a dict per message
+    meta: Optional[dict] = None
 
 
 class Vdaemon:
@@ -72,7 +74,7 @@ class Vdaemon:
 
     __slots__ = (
         "cluster", "sim", "network", "rank", "spec", "config", "probes",
-        "host", "protocol", "sender_log", "alive", "clock", "ssn_next",
+        "host", "wire_sink", "protocol", "sender_log", "alive", "clock", "ssn_next",
         "last_ssn", "_proc_busy_until", "_recv_drain", "_plan_send",
         "_recv_delay_cache", "deliver_to_app", "trace_sink", "in_replay",
         "recovering", "_replay_dets", "_replay_idx", "_replay_buffer",
@@ -117,6 +119,12 @@ class Vdaemon:
             SerialDrain(self.sim) if self.sim.coalesced else None
         )
         self._plan_send = PlanSelector(config)
+        #: wire-delivery entry point peers address.  Defaults to the
+        #: layered :meth:`on_wire`; cluster wiring rebinds it to a fused
+        #: per-daemon delivery closure when ``config.delivery_fastpath``
+        #: is on (see runtime/fastpath.py).  Senders resolve it through
+        #: the daemon at send time, so the rebind is a pure seam swap.
+        self.wire_sink: Callable[[WireMessage], None] = self.on_wire
         #: nbytes -> receive-side base delay (pure in nbytes given config)
         self._recv_delay_cache: dict[int, float] = {}
 
@@ -164,7 +172,7 @@ class Vdaemon:
             self.host,
             self.cluster.host_of(dst_rank),
             nbytes,
-            dst_daemon.on_wire,
+            dst_daemon.wire_sink,
             args=(msg,),
         )
 
@@ -564,15 +572,18 @@ class Vdaemon:
         )
         self.protocol.bind(self)
         self.sender_log = SenderLog(self.rank)
+        # the ssn tables are mutated in place: the fused delivery closures
+        # (runtime/fastpath.py) bind these dicts at wiring time, so their
+        # identity must survive a reset
+        self.ssn_next.clear()
+        self.last_ssn.clear()
         if snapshot is None:
             self.clock = 0
-            self.ssn_next = {}
-            self.last_ssn = {}
             self.last_ckpt_clock = 0
         else:
             self.clock = snapshot["clock"]
-            self.ssn_next = dict(snapshot["ssn_next"])
-            self.last_ssn = dict(snapshot["last_ssn"])
+            self.ssn_next.update(snapshot["ssn_next"])
+            self.last_ssn.update(snapshot["last_ssn"])
             self.last_ckpt_clock = snapshot["clock"]
             self.protocol.restore_state(copy.deepcopy(snapshot["protocol"]))
             self.sender_log.restore_state(copy.deepcopy(snapshot["sender_log"]))

@@ -1,0 +1,318 @@
+"""Wiring-time compiled delivery fast paths.
+
+At cluster wiring time, :func:`install_fastpath` compiles, for every
+(protocol, channel endpoint) pair, the send and the receive pipeline into
+one flat closure each and swaps them in at two seams:
+
+* ``daemon.wire_sink`` — what peers' NIC transfers call on delivery.  The
+  fused receive closure inlines the layered chain
+  ``on_wire → _on_app_message → _create_determinant → _recv_base_delay``
+  and its continuation ``_hand_to_app → MpiContext._on_delivery`` into
+  two closures (pre-/post- the daemon service delay) that bind the hot
+  state once instead of re-resolving 6 frames of attribute lookups per
+  message.
+* ``ctx.send`` / ``ctx.isend`` — instance attributes shadowing the class
+  methods (``sendrecv`` and the collectives resolve ``self.send``, so
+  they pick the fused path up transparently).  The fused send inlines
+  ``MpiContext.send → Vdaemon.app_send`` with a per-``nbytes`` cache of
+  the stage-1 software latency (pure in ``nbytes`` given the config).
+
+The compiled closures are a *host-side* representation change only: they
+issue exactly the same engine calls (``sim.post`` / drain enqueues /
+``network.transfer``) with exactly the same timestamps, in exactly the
+same order, as the layered reference path — the float additions that
+build each delay are performed in the identical order, since ``a+b+c``
+and ``a+(b+c)`` differ in IEEE-754.  Everything the reference path reads
+per message (protocol object, clocks, ssn tables, liveness, epoch,
+replay flags, trace sink) is read dynamically by the closures too, so a
+``hard_reset`` mid-run needs no recompilation.  Anything off the hot
+path — control messages, replay, tracing, a re-pointed
+``deliver_to_app`` — falls back to the layered implementation, which
+stays the reference for the differential suite
+(``tests/test_dispatch_fastpath.py``) and A/B benchmarking.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.events import Determinant
+from repro.mpi.api import ANY_SOURCE, ANY_TAG, ReceivedMessage
+from repro.runtime.daemon import WireMessage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.api import MpiContext
+    from repro.runtime.cluster import Cluster
+    from repro.runtime.daemon import Vdaemon
+
+
+def install_fastpath(cluster: "Cluster") -> None:
+    """Compile and install fused delivery closures on every endpoint.
+
+    Called once from ``Cluster.__init__`` after daemons and MPI contexts
+    are wired (gated on ``config.delivery_fastpath``).
+    """
+    for rank, daemon in cluster.daemons.items():
+        ctx = cluster.contexts[rank]
+        daemon.wire_sink = _compile_recv_path(cluster, daemon, ctx)
+        send = _compile_send_path(cluster, daemon)
+        ctx.send = send
+        ctx.isend = send
+
+
+def _compile_recv_path(
+    cluster: "Cluster", d: "Vdaemon", ctx: "MpiContext"
+) -> Callable[[WireMessage], None]:
+    """One flat closure replacing the per-message receive method chain."""
+    sim = d.sim
+    probes = d.probes
+    rank = d.rank
+    is_logging = d.is_logging
+    drain = d._recv_drain
+    delay_cache = d._recv_delay_cache
+    layered_on_wire = d.on_wire
+    layered_accept = d._on_app_message
+    hand = _compile_hand_to_app(d, ctx)
+    post_el = _compile_el_post(cluster, d) if d.spec.event_logger else None
+    last_ssn = d.last_ssn
+    last_ssn_get = last_ssn.get
+    # the drain's in-order append (the overwhelmingly common case) is
+    # inlined below; the deque identity is stable for the drain's lifetime
+    drain_pending = drain.pending if drain is not None else None
+    drain_enqueue = drain.enqueue if drain is not None else None
+
+    # simlint: hot
+    def fused_on_wire(msg: WireMessage) -> None:
+        if msg.kind != "app":
+            layered_on_wire(msg)  # ctl / replay traffic: off the hot path
+            return
+        if msg.epoch != cluster.epoch:
+            return  # stale message from before a global restart
+        if not d.alive:
+            return  # dropped; covered by the sender-based log
+        if d.in_replay or d.recovering:
+            layered_accept(msg)  # buffers + pumps replay
+            return
+        src = msg.src
+        ssn = msg.ssn
+        if ssn <= last_ssn_get(src, 0):
+            return  # duplicate of an already-delivered message
+        # the single-threaded daemon processes receptions serially
+        start = d._proc_busy_until
+        now = sim.now
+        if now > start:
+            start = now
+        # protocol mutations happen in arrival order (== delivery order)
+        protocol = d.protocol
+        pb_cost = protocol.accept_piggyback(src, msg.pb, msg.dep)
+        last_ssn[src] = ssn
+        det: Optional[Determinant] = None
+        if is_logging:
+            clock = d.clock + 1
+            d.clock = clock
+            probes.receptions = clock
+            det = Determinant(
+                creator=rank, clock=clock, sender=src, ssn=ssn, dep=msg.dep
+            )
+            protocol.on_local_event(det)
+            if post_el is not None:
+                post_el(det)
+        delay = delay_cache.get(msg.nbytes)
+        if delay is None:
+            delay = d._recv_base_delay(msg)
+        ready = start + (delay + pb_cost)
+        d._proc_busy_until = ready
+        if drain_pending is not None:
+            # SerialDrain.enqueue's in-order branch, inlined: claim the
+            # next engine seq and join the armed queue's tail
+            if drain_pending and ready >= drain_pending[-1][0]:
+                sim._seq = seq = sim._seq + 1
+                drain_pending.append((ready, seq, hand, (msg, det)))
+            else:
+                drain_enqueue(ready, hand, msg, det)
+        else:
+            sim.post(ready, hand, msg, det)
+
+    return fused_on_wire
+
+
+def _compile_hand_to_app(
+    d: "Vdaemon", ctx: "MpiContext"
+) -> Callable[[WireMessage, Optional[Determinant]], None]:
+    """Fused ``_hand_to_app → MpiContext._on_delivery`` continuation."""
+    layered_hand = d._hand_to_app
+    # the one deliver_to_app instance MpiContext.__init__ installed; a
+    # test (or future endpoint) re-pointing the seam demotes us to an
+    # indirect call through whatever is installed now
+    mpi_deliver = d.deliver_to_app
+
+    # simlint: hot
+    def fused_hand(msg: WireMessage, det: Optional[Determinant]) -> None:
+        if d.trace_sink is not None or not d.alive:
+            layered_hand(msg, det)  # timeline record / dead-rank swallow
+            return
+        if d.deliver_to_app is not mpi_deliver:
+            layered_hand(msg, det)
+            return
+        m = ReceivedMessage(
+            src=msg.src,
+            tag=msg.tag,
+            nbytes=msg.nbytes,
+            payload=msg.payload,
+            ssn=msg.ssn,
+        )
+        pending = ctx._pending
+        if pending:
+            src = m.src
+            tag = m.tag
+            for i, p in enumerate(pending):
+                ps = p.source
+                pt = p.tag
+                if (ps == ANY_SOURCE or ps == src) and (
+                    pt == ANY_TAG or pt == tag
+                ):
+                    del pending[i]
+                    p.future.resolve(m)
+                    return
+        ctx._queue.append(m)
+
+    return fused_hand
+
+
+def _compile_el_post(
+    cluster: "Cluster", d: "Vdaemon"
+) -> Optional[Callable[[Determinant], None]]:
+    """Fused single-determinant ``_post_to_el → _el_log_send`` (the
+    fire-and-forget default; the retry layer keeps the layered path)."""
+    group = cluster.event_logger
+    if group is None:
+        return None
+    probes = d.probes
+    if cluster.retry_policy.enabled:
+        layered_send = d._el_log_send
+
+        # simlint: hot
+        def retry_post(det: Determinant) -> None:
+            probes.el_events_logged += 1
+            layered_send((det,))
+
+        return retry_post
+    network = d.network
+    host = d.host
+    nbytes = d.config.el_event_wire_bytes
+    shard_for = group.shard_for
+    el_ack = d._el_ack
+    rank = d.rank
+
+    # simlint: hot
+    def fused_post(det: Determinant) -> None:
+        probes.el_events_logged += 1
+        shard = shard_for(rank)
+        network.transfer(
+            host,
+            shard.host,
+            nbytes,
+            shard.receive_log,
+            args=(rank, (det,), el_ack, host),
+        )
+
+    return fused_post
+
+
+def _compile_send_path(cluster: "Cluster", d: "Vdaemon"):
+    """Fused ``MpiContext.send → Vdaemon.app_send`` generator.
+
+    Installed as an *instance* attribute on the context, shadowing both
+    ``send`` and ``isend`` (identical semantics: sends complete at local
+    injection), so ``sendrecv`` and the collectives — which resolve
+    ``self.send`` — inherit it without changes.
+    """
+    cfg = d.config
+    spec = d.spec
+    network = d.network
+    probes = d.probes
+    rank = d.rank
+    host = d.host
+    daemons = cluster.daemons
+    host_of = cluster.host_of
+    plan_select = d._plan_send
+    layered_send = d.app_send
+    slog = spec.sender_based_logging
+    is_logging = d.is_logging
+    blocking = d.protocol.blocking_on_stability  # class attr: reset-stable
+    ssn_next = d.ssn_next
+    ssn_next_get = ssn_next.get
+    #: nbytes -> stage-1 latency (pure in nbytes given config and spec;
+    #: computed once by the exact reference float-addition order)
+    pre_cache: dict[int, float] = {}
+    #: dst -> (dst host, dst wire sink): daemons are never replaced, and
+    #: the sink seam is installed before any traffic flows
+    dst_cache: dict[int, tuple] = {}
+
+    # simlint: hot
+    def fused_send(dst: int, nbytes: int, tag: int = 0, payload=None):
+        if d.trace_sink is not None or blocking:
+            ssn = yield from layered_send(dst, nbytes, tag=tag, payload=payload)
+            return ssn
+
+        ssn = ssn_next_get(dst, 0) + 1
+        ssn_next[dst] = ssn
+
+        # -- stage 1: the MPI stack + the app→daemon pipe crossing ------
+        pre = pre_cache.get(nbytes)
+        if pre is None:
+            pre = cfg.mpi_software_latency_s / 2.0
+            if spec.daemon:
+                pre += cfg.daemon_overhead_s / 2.0
+                pre += nbytes * 8.0 / cfg.daemon_copy_bandwidth_bps
+            if slog:
+                pre += nbytes * 8.0 / cfg.sender_log_bandwidth_bps
+            if is_logging:
+                pre += cfg.logging_fixed_latency_s / 2.0
+            pre_cache[nbytes] = pre
+        if slog:
+            sender_log = d.sender_log
+            sender_log.record(dst, ssn, tag, nbytes, payload)
+            probes.sender_log_bytes = sender_log.bytes_held
+            probes.sender_log_messages = sender_log.messages_held
+        yield pre
+
+        # -- stage 2: the daemon builds the piggyback -------------------
+        pb = d.protocol.build_piggyback(dst)
+        plan = plan_select(nbytes)
+
+        probes.app_messages_sent += 1
+        probes.app_payload_bytes_sent += nbytes
+        probes.piggyback_bytes_sent += pb.nbytes
+        probes.piggyback_events_sent += pb.n_events
+        probes.header_bytes_sent += plan.header_bytes
+        if pb.n_events:
+            probes.messages_with_piggyback += 1
+
+        post = pb.build_cost_s + plan.handshake_latency_s
+        if post > 0:
+            yield post
+
+        msg = WireMessage(
+            kind="app",
+            src=rank,
+            dst=dst,
+            ssn=ssn,
+            tag=tag,
+            nbytes=nbytes,
+            payload=payload,
+            pb=pb,
+            dep=d.clock,
+            epoch=cluster.epoch,
+        )
+        target = dst_cache.get(dst)
+        if target is None:
+            dst_daemon = daemons[dst]
+            target = dst_cache[dst] = (host_of(dst), dst_daemon.wire_sink)
+        network.transfer(
+            host, target[0], nbytes + pb.nbytes + plan.header_bytes, target[1],
+            args=(msg,),
+        )
+        return ssn
+
+    return fused_send
