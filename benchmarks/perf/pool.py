@@ -1,0 +1,76 @@
+"""Host-side scenario pool for ``run_bench.py --jobs N``.
+
+This is the **only** place in the repository where host-level parallelism
+is allowed (the ``host-thread`` simlint rule forbids ``threading`` /
+``multiprocessing`` / ``concurrent`` / ``asyncio`` imports everywhere
+under ``src/repro``): simulations must stay single-threaded and
+deterministic, so parallelism lives strictly *between* simulations, one
+whole scenario per worker process.
+
+Design constraints, in order:
+
+* **Per-scenario walls stay honest.**  Each scenario's repeats — and in
+  particular the interleaved baseline pairs (coalesced vs reference,
+  fused vs layered) — run inside one worker process, exactly as in the
+  serial driver, so intra-scenario comparisons never cross a process
+  boundary.  Scenario-to-scenario walls *are* noisier under ``--jobs``
+  (workers share cores and caches); docs/BENCHMARKING.md documents when
+  a recorded wall is comparable.
+* **Deterministic collation.**  Workers return out of order
+  (``imap_unordered``); results are re-keyed into the scenario
+  registry's order before anything is reported, so the emitted JSON is
+  byte-stable for a given set of checksums regardless of scheduling.
+* **Scenarios travel by name.**  The registry maps names to lambdas,
+  which do not pickle; workers re-import the registry and look the
+  scenario up by name, so the parent only ships ``(name, quick,
+  repeats)`` tuples.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any
+
+
+def _run_scenario(job: tuple[str, bool, int]) -> tuple[str, dict[str, Any]]:
+    """Worker entry point: rebuild the scenario by name and measure it."""
+    name, quick, repeats = job
+    from benchmarks.perf import run_bench
+
+    fn = run_bench.scenarios(quick)[name]
+    return name, run_bench.measure(fn, repeats)
+
+
+def run_parallel(
+    quick: bool, repeats: int, jobs: int, verbose: bool = True
+) -> dict[str, dict[str, Any]]:
+    """Measure every scenario across ``jobs`` worker processes.
+
+    Returns the same ``{name: measure(...)}`` mapping as the serial
+    ``run_all``, in scenario-registry order.
+    """
+    from benchmarks.perf import run_bench
+
+    names = list(run_bench.scenarios(quick))
+    # fork shares the parent's imported modules (no re-import cost and no
+    # sys.path re-derivation); fall back to the platform default where
+    # fork is unavailable (the worker re-imports by module name then)
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        ctx = multiprocessing.get_context()
+    collected: dict[str, dict[str, Any]] = {}
+    with ctx.Pool(processes=max(1, jobs)) as pool:
+        jobs_iter = pool.imap_unordered(
+            _run_scenario, [(name, quick, repeats) for name in names]
+        )
+        for name, result in jobs_iter:
+            collected[name] = result
+            if verbose:
+                print(
+                    f"{name:28s} {result['wall_s']:9.4f} s   "
+                    f"{result['events_per_s']:>12,.0f} ev/s   "
+                    f"({result['sim_events']:,} events)"
+                )
+    # registry-order collation: identical shape to the serial driver
+    return {name: collected[name] for name in names}

@@ -11,6 +11,7 @@ meaningless.
 Usage::
 
     PYTHONPATH=src python -m benchmarks.perf.run_bench                 # full run
+    PYTHONPATH=src python -m benchmarks.perf.run_bench --jobs 4        # pooled run
     PYTHONPATH=src python -m benchmarks.perf.run_bench --quick         # CI smoke
     PYTHONPATH=src python -m benchmarks.perf.run_bench --record-baseline
     PYTHONPATH=src python -m benchmarks.perf.run_bench --check-docs    # docs audit
@@ -194,23 +195,25 @@ def nas(bench: str, nprocs: int, stack: str, iterations: int):
 
 def nas_sparse(
     bench: str, nprocs: int, stack: str, iterations: int, inner=None,
-    coalesce: bool = True, fastpath: bool = True,
+    coalesce: bool = True, fastpath: bool = True, partition_ranks: int = 0,
 ):
     """Scale scenario: sparse bound vectors + per-entry cost model.
 
     The 256/512-rank regime the dense ``× nprocs`` formulas could not
     credibly reach; ``inner`` truncates CG's inner loop in quick mode,
     ``coalesce=False`` selects the reference engine for the
-    coalesced-vs-reference pair, and ``fastpath=False`` the layered
-    delivery stack for the fused-vs-reference dispatch pair (identical
-    checksums required on both pairs).
+    coalesced-vs-reference pair, ``fastpath=False`` the layered
+    delivery stack for the fused-vs-reference dispatch pair, and
+    ``partition_ranks=K`` the conservative-window partitioned facade for
+    the partitioned-vs-single pair (identical checksums required on all
+    three pairs).
     """
     from repro.experiments.common import run_nas
     from repro.runtime.config import ClusterConfig
 
     cfg = ClusterConfig().with_overrides(
         pb_cost_model="sparse", engine_coalesce=coalesce,
-        delivery_fastpath=fastpath,
+        delivery_fastpath=fastpath, partition_ranks=partition_ranks,
     )
     result, _info = run_nas(
         bench, "A", nprocs, stack, iterations=iterations, config=cfg,
@@ -492,6 +495,9 @@ def scenarios(quick: bool) -> dict:
             "nas_cg512_vcausal_sparse": lambda: nas_sparse(
                 "cg", 512, "vcausal", 1, inner=1
             ),
+            "nas_cg512_partitioned": lambda: nas_sparse(
+                "cg", 512, "vcausal", 1, inner=1, partition_ranks=4
+            ),
             "nas_bt16_vcausal_sparse": lambda: nas_sparse("bt", 16, "vcausal", 1),
             "nas_sp16_vcausal_sparse": lambda: nas_sparse("sp", 16, "vcausal", 1),
             "nas_ft16_vcausal_sparse": lambda: nas_sparse("ft", 16, "vcausal", 1),
@@ -541,6 +547,9 @@ def scenarios(quick: bool) -> dict:
         ),
         "nas_cg512_sparse_dispatch_ref": lambda: nas_sparse(
             "cg", 512, "vcausal", 1, inner=3, fastpath=False
+        ),
+        "nas_cg512_partitioned": lambda: nas_sparse(
+            "cg", 512, "vcausal", 1, inner=3, partition_ranks=4
         ),
         "nas_cg1024_vcausal_sparse": lambda: nas_sparse(
             "cg", 1024, "vcausal", 1, inner=1
@@ -684,7 +693,15 @@ def measure(fn, repeats: int) -> dict:
     }
 
 
-def run_all(quick: bool, repeats: int, verbose: bool = True) -> dict:
+def run_all(quick: bool, repeats: int, verbose: bool = True, jobs: int = 1) -> dict:
+    if jobs > 1:
+        # one whole scenario per worker process: interleaved baseline
+        # pairs stay in-process, collation is registry-ordered (see
+        # benchmarks/perf/pool.py and docs/BENCHMARKING.md on when
+        # parallel walls are comparable)
+        from benchmarks.perf.pool import run_parallel
+
+        return run_parallel(quick, repeats, jobs, verbose=verbose)
     out = {}
     for name, fn in scenarios(quick).items():
         out[name] = measure(fn, repeats)
@@ -713,7 +730,14 @@ def compare(results: dict, baseline: dict) -> dict:
     return results
 
 
-def report_doc(results: dict, repeats: int, quick: bool, baseline_meta: dict | None) -> dict:
+def report_doc(
+    results: dict,
+    repeats: int,
+    quick: bool,
+    baseline_meta: dict | None,
+    jobs: int = 1,
+    sweep_wall_s: float | None = None,
+) -> dict:
     return {
         "schema": "repro-bench-v1",
         "generated": datetime.datetime.now().isoformat(timespec="seconds"),
@@ -722,6 +746,11 @@ def report_doc(results: dict, repeats: int, quick: bool, baseline_meta: dict | N
         "platform": platform.platform(),
         "repeats": repeats,
         "quick": quick,
+        # host-pool shape of this sweep: worker count and the whole
+        # sweep's wall clock (the --jobs headline number; per-scenario
+        # walls under jobs > 1 carry co-scheduling noise)
+        "jobs": jobs,
+        "sweep_wall_s": round(sweep_wall_s, 3) if sweep_wall_s is not None else None,
         "baseline": baseline_meta,
         "scenarios": results,
     }
@@ -731,6 +760,14 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true", help="tiny sizes, CI smoke mode")
     ap.add_argument("--repeats", type=int, default=None, help="repeats per scenario")
+    ap.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; each runs whole scenarios (interleaved "
+        "baseline pairs stay per-process), results are collated in "
+        "registry order (see docs/BENCHMARKING.md)",
+    )
     ap.add_argument(
         "--record-baseline",
         action="store_true",
@@ -787,14 +824,20 @@ def main(argv=None) -> int:
         return 0
     repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
     repeats = max(1, repeats)
+    jobs = max(1, args.jobs)
 
-    results = run_all(args.quick, repeats)
+    sweep_t0 = time.perf_counter()
+    results = run_all(args.quick, repeats, jobs=jobs)
+    sweep_wall_s = time.perf_counter() - sweep_t0
 
     if args.record_baseline:
         if args.quick:
             print("refusing to record a baseline from a --quick run", file=sys.stderr)
             return 2
-        doc = report_doc(results, repeats, args.quick, baseline_meta=None)
+        doc = report_doc(
+            results, repeats, args.quick, baseline_meta=None,
+            jobs=jobs, sweep_wall_s=sweep_wall_s,
+        )
         args.baseline.write_text(json.dumps(doc, indent=2) + "\n")
         print(f"baseline recorded -> {args.baseline}")
         return 0
@@ -818,7 +861,10 @@ def main(argv=None) -> int:
     if output is None and not args.quick:
         output = next_output_path()
     if output is not None:
-        doc = report_doc(results, repeats, args.quick, baseline_meta)
+        doc = report_doc(
+            results, repeats, args.quick, baseline_meta,
+            jobs=jobs, sweep_wall_s=sweep_wall_s,
+        )
         output.write_text(json.dumps(doc, indent=2) + "\n")
         print(f"report -> {output}")
     return 0

@@ -90,6 +90,12 @@ def test_quick_mode_runs_in_seconds_and_is_deterministic():
     # noise on a loaded box)
     disp_ref = results["nas_cg256_sparse_dispatch_ref"]["checksum"]
     assert coal == disp_ref
+    # ... and the partitioned-vs-single pair: the conservative-window
+    # facade (partition_ranks=4) must reproduce the single-engine cg512
+    # run bit-for-bit — the tentpole identity the partition conformance
+    # suite property-tests at small scale, pinned here at bench scale
+    partitioned = results["nas_cg512_partitioned"]["checksum"]
+    assert partitioned == results["nas_cg512_vcausal_sparse"]["checksum"]
     mb = run_bench.dispatch_microbench(n=20_000, passes=2)
     assert mb["speedup"] >= 1.2, (
         f"fused dispatch speedup regressed: layered {mb['layered_s']}s "

@@ -11,8 +11,12 @@ primitives; we use the classic algorithms of that era:
 * ``alltoall``  — pairwise exchange (p−1 rounds, partner = rank XOR/shift).
 
 Every collective call consumes one tag block from
-:meth:`~repro.mpi.api.MpiContext.next_collective_tag`, so concurrent
-collectives and point-to-point traffic never cross-match.
+:meth:`~repro.mpi.api.MpiContext.next_collective_tag`, so overlapping
+in-simulation collectives and point-to-point traffic never cross-match.
+(That overlap is simulated time only: nothing here — or anywhere under
+``src/repro`` — uses host threads or processes, which the
+``host-thread`` simlint rule now enforces; host-side parallelism lives
+in ``benchmarks/perf/pool.py``, outside the simulated world.)
 """
 
 from __future__ import annotations

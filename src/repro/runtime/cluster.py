@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from repro.core.distributed_el import EventLoggerGroup, shard_host
+from repro.core.distributed_el import EventLoggerGroup, shard_host, shard_partition
 from repro.metrics.probes import ClusterProbes
 from repro.mpi.api import MpiContext
 from repro.runtime.checkpoint_server import CKPT_HOST, CheckpointServer
@@ -38,6 +38,11 @@ from repro.runtime.fastpath import install_fastpath
 from repro.runtime.retry import RetryChannel, RetryPolicy, RetryStats
 from repro.simulator.engine import Simulator, make_simulator
 from repro.simulator.network import Network
+from repro.simulator.partition import (
+    PartitionedSimulator,
+    derive_lookahead,
+    partition_of_rank,
+)
 from repro.simulator.process import SimProcess
 from repro.simulator.rng import SeedSequenceStream
 
@@ -90,7 +95,16 @@ class Cluster:
         self.spec: StackSpec = STACKS[stack] if isinstance(stack, str) else stack
         self.config = config if config is not None else ClusterConfig()
         self.seeds = SeedSequenceStream(seed)
-        self.sim = make_simulator(coalesce=self.config.engine_coalesce)
+        # a partitioned cluster shards the ranks into contiguous blocks
+        # advanced inside conservative windows whose width is the minimum
+        # cross-partition link latency (see repro.simulator.partition);
+        # more partitions than ranks would leave empty blocks
+        self.partitions = min(self.config.partition_ranks, nprocs)
+        self.sim = make_simulator(
+            coalesce=self.config.engine_coalesce,
+            partitions=self.partitions,
+            lookahead_s=derive_lookahead(self.config) if self.partitions else 0.0,
+        )
         self.network = Network(
             self.sim,
             bandwidth_bps=self.config.bandwidth_bps,
@@ -109,6 +123,24 @@ class Cluster:
         self.network.attach(
             CKPT_HOST, bandwidth_bps=self.config.checkpoint_server_bandwidth_bps
         )
+        if self.partitions:
+            # pin every host to its partition: ranks in contiguous blocks,
+            # each EL shard with the block of its lowest creator rank, the
+            # checkpoint server with block 0 (stable servers talk to all
+            # partitions; the (time, seq) merge keeps any placement
+            # bit-identical — pinning only shapes the exchange traffic)
+            sim = self.sim
+            assert isinstance(sim, PartitionedSimulator)
+            for r in range(nprocs):
+                sim.register_host(
+                    self.host_of(r), partition_of_rank(r, nprocs, self.partitions)
+                )
+            if self.spec.event_logger:
+                for k in range(self.config.el_count):
+                    sim.register_host(
+                        shard_host(k), shard_partition(k, nprocs, self.partitions)
+                    )
+            sim.register_host(CKPT_HOST, 0)
 
         self.probes = ClusterProbes()
         self.event_logger: Optional[EventLoggerGroup] = (
@@ -198,8 +230,20 @@ class Cluster:
         if self._started:
             raise RuntimeError("cluster already started")
         self._started = True
-        for r in range(self.nprocs):
-            self._make_app_proc(r, None, None).start()
+        if self.partitions:
+            # bootstrap each rank's first events inside its own partition
+            # store; scheduler/fault-plan timers stay in partition 0
+            sim = self.sim
+            assert isinstance(sim, PartitionedSimulator)
+            for r in range(self.nprocs):
+                sim.enter_partition(
+                    partition_of_rank(r, self.nprocs, self.partitions)
+                )
+                self._make_app_proc(r, None, None).start()
+            sim.enter_partition(0)
+        else:
+            for r in range(self.nprocs):
+                self._make_app_proc(r, None, None).start()
         self.scheduler.start()
         if self.fault_plan is not None:
             self.fault_plan.install(self.sim, self)

@@ -118,6 +118,19 @@ class ClusterConfig:
     engine_coalesce: bool = True
 
     # ---------------------------------------------------------------- #
+    # Partitioned conservative-window simulation (repro.simulator.
+    # partition).  ``partition_ranks = K > 0`` shards the ranks into K
+    # contiguous blocks, each advanced in its own engine store inside
+    # conservative time windows of width ``network_latency_s`` (the
+    # minimum cross-partition link latency), with cross-partition
+    # messages exchanged at window barriers and merged in global
+    # ``(time, seq)`` order — probes, checksums and ``sim_time`` are
+    # bit-identical to the single-engine run (property-tested in
+    # tests/test_partition_conformance.py).  0 (default) keeps the
+    # verbatim single-engine path.
+    partition_ranks: int = 0
+
+    # ---------------------------------------------------------------- #
     # Per-message delivery dispatch.  True (default) compiles, at cluster
     # wiring time, per-(protocol, channel) fused delivery closures: the
     # send pipeline (piggyback build -> cost charge -> wire) and the
@@ -227,6 +240,10 @@ class ClusterConfig:
             )
         if self.fault_domains < 0:
             raise ValueError(f"fault_domains must be >= 0, got {self.fault_domains!r}")
+        if self.partition_ranks < 0:
+            raise ValueError(
+                f"partition_ranks must be >= 0, got {self.partition_ranks!r}"
+            )
         if self.rpc_timeout_s < 0:
             raise ValueError(f"rpc_timeout_s must be >= 0, got {self.rpc_timeout_s!r}")
         if self.rpc_backoff_base_s < 0:

@@ -28,6 +28,19 @@ none), asks peers to re-send logged payloads, and replays deliveries in
 determinant order until it reaches the pre-crash state; the MPI process
 re-executes on top, re-generating identical sends which receivers
 de-duplicate by (sender, ssn).
+
+Partitioned runs (``partition_ranks > 0``,
+:mod:`repro.simulator.partition`): every *timed* cross-rank interaction
+of the daemon flows
+through ``network.transfer`` — the single seam the conservative-window
+exchange intercepts.  The remaining direct cross-rank calls
+(``peer_died`` / ``on_peer_restarted`` fan-outs, dispatcher
+notifications, checkpoint-commit bookkeeping) are synchronous
+shared-state updates executed *inside* the event that triggers them;
+under the facade's global ``(time, seq)`` merge every event still
+executes at exactly its single-engine position, so these shared-state
+seams observe the same daemon states in the same order as the
+single-engine run and need no exchange routing.
 """
 
 from __future__ import annotations

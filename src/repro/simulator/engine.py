@@ -129,6 +129,10 @@ class Simulator:
 
     #: downstream layers key their coalesced fast paths off this flag
     coalesced = True
+    #: True only on the conservative-window facade
+    #: (:class:`repro.simulator.partition.PartitionedSimulator`); the
+    #: network checks it before routing a delivery through the exchange
+    partitioned = False
 
     __slots__ = (
         "now",
@@ -332,6 +336,23 @@ class Simulator:
         """Count ``n`` extra executions performed inside one engine event
         (a drain that delivered more than its head entry)."""
         self._extra_events += n
+
+    # -- partition seam (real implementation on PartitionedSimulator) --- #
+
+    def is_remote(self, host: str) -> bool:
+        """Would delivering to ``host`` cross a partition?  Never, here."""
+        return False
+
+    def exchange_post(
+        self,
+        dst_host: str,
+        time: float,
+        fn: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> None:
+        raise SimulationError(
+            "exchange_post on a non-partitioned engine"
+        )  # pragma: no cover - guarded by the `partitioned` flag
 
     # ------------------------------------------------------------------ #
     # deadlock bookkeeping
@@ -705,8 +726,23 @@ class ReferenceSimulator(Simulator):
 def make_simulator(
     trace: Optional[Callable[[float, str], None]] = None,
     coalesce: bool = True,
+    partitions: int = 0,
+    lookahead_s: float = 0.0,
 ) -> Simulator:
-    """Engine factory keyed by the ``engine_coalesce`` cluster knob."""
+    """Engine factory keyed by the ``engine_coalesce`` and
+    ``partition_ranks`` cluster knobs.
+
+    ``partitions > 0`` selects the conservative-window facade
+    (:class:`repro.simulator.partition.PartitionedSimulator`) with the
+    given window width; ``partitions == 0`` keeps the verbatim
+    single-store engines.
+    """
+    if partitions > 0:
+        from repro.simulator.partition import PartitionedSimulator
+
+        return PartitionedSimulator(
+            partitions, lookahead_s, trace=trace, coalesce=coalesce
+        )
     return Simulator(trace) if coalesce else ReferenceSimulator(trace)
 
 

@@ -254,13 +254,22 @@ class Network:
         tx_start, _tx_end = src_nic.reserve_tx(duration)
         earliest_rx = tx_start + self.latency_s + extra_latency
         _rx_start, rx_end = dst_nic.reserve_rx(earliest_rx, duration)
+        sim = self.sim
+        if sim.partitioned and sim.is_remote(dst):
+            # cross-partition delivery: buffered in the exchange with its
+            # seq claimed here (exactly where the drain enqueue below
+            # would have claimed it) and merged at the window barrier;
+            # rx_end >= tx_start + latency_s >= window_end, the
+            # conservative invariant
+            sim.exchange_post(dst, rx_end, deliver, args)
+            return rx_end
         drain = dst_nic.rx_drain
         if drain is not None:
             # rx_end is strictly increasing per NIC (reserve_rx is serial
             # and duration > 0), the SerialDrain precondition
             drain.enqueue(rx_end, deliver, *args)
         else:
-            self.sim.post(rx_end, deliver, *args)
+            sim.post(rx_end, deliver, *args)
         return rx_end
 
     def transfer_chunked(

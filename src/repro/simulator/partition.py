@@ -1,0 +1,555 @@
+"""Partitioned conservative-window simulation (classic PDES, in-process).
+
+Ranks are sharded into ``K`` contiguous blocks (``partition_of_rank``);
+each block's events live in their own engine store — a timestamp heap +
+bucket dict per partition, exactly the :class:`~repro.simulator.engine.
+Simulator` layout — and the partitions advance together through
+*conservative time windows* of width ``lookahead``:
+
+* **Lookahead derivation** (:func:`derive_lookahead`): every cross-host
+  message crosses the switch, paying at least ``network_latency_s`` of
+  propagation before its first byte lands, plus a strictly positive
+  serialization time.  A message sent at ``t`` therefore cannot be
+  delivered before ``t + network_latency_s`` — the minimum
+  cross-partition link latency is a safe lookahead, the classic
+  Chandy/Misra/Bryant bound.
+* **Windows**: each window starts at the minimum pending timestamp
+  across all partitions and spans ``lookahead`` seconds.  Timestamps
+  inside the window drain; cross-partition messages produced during the
+  window are *not* delivered directly — they are buffered in an exchange
+  (:meth:`PartitionedSimulator.exchange_post`, with their global engine
+  sequence number claimed at send time) and merged into the destination
+  partition's queue at the window barrier, in ``(time, seq)`` order.
+  The conservative invariant — every exchanged message lands at or
+  beyond the window end — is asserted on every crossing.
+
+**Bit identity.**  All partitions share one global sequence counter, and
+the in-process window drain executes the union of the partition queues
+in exact global ``(time, seq)`` order — the same order a single engine
+would execute them, by construction.  Every seam claims its sequence
+number at the same call site as the single-engine path (an exchange
+crossing claims where :class:`~repro.simulator.engine.SerialDrain`
+``enqueue`` would have), so sequence assignment, execution order,
+``now``, ``events_executed`` and therefore every simulated observable
+are bit-identical to ``partition_ranks=0``
+(``tests/test_partition_conformance.py`` is the differential proof).
+The partition/window structure is what a multi-process deployment would
+ship per worker; the remaining shared-state seams (synchronous
+cross-rank daemon calls, shared NIC reservations, shared probes) are
+documented in ``docs/ARCHITECTURE.md``.
+
+Window and crossing counters live on the facade (``windows``,
+``cross_messages``) and deliberately **not** in
+:class:`~repro.metrics.probes.ClusterProbes`: the full probe image must
+stay identical between partitioned and single-engine runs.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Callable, Optional
+
+from repro.simulator.engine import (
+    _ARGS,
+    _FN,
+    _NO_LIVE,
+    _SEQ,
+    DeadlockError,
+    EventHandle,
+    SimulationError,
+    Simulator,
+)
+
+__all__ = ["PartitionedSimulator", "derive_lookahead", "partition_of_rank"]
+
+
+def partition_of_rank(rank: int, nprocs: int, partitions: int) -> int:
+    """Partition of ``rank``: ``partitions`` contiguous, balanced blocks."""
+    if not 0 <= rank < nprocs:
+        raise ValueError(f"rank {rank} out of range for nprocs={nprocs}")
+    if partitions < 1:
+        raise ValueError(f"partitions must be >= 1, got {partitions}")
+    return rank * partitions // nprocs
+
+
+def derive_lookahead(config: Any) -> float:
+    """Conservative lookahead from a :class:`ClusterConfig`.
+
+    All inter-host links share one switch with ``network_latency_s``
+    one-way propagation, and serialization adds a strictly positive
+    duration on top, so ``network_latency_s`` *is* the minimum
+    cross-partition link latency (loopback traffic never crosses a
+    partition: a host belongs to exactly one).
+    """
+    lookahead = float(config.network_latency_s)
+    if lookahead < 0:
+        raise SimulationError(f"negative lookahead: {lookahead!r}")
+    return lookahead
+
+
+#: exchange record: (dst partition, time, claimed seq, fn, args)
+_Crossing = tuple[int, float, int, Callable[..., None], tuple[Any, ...]]
+
+
+class PartitionedSimulator(Simulator):
+    """K engine stores advanced through conservative lookahead windows.
+
+    Subclasses :class:`Simulator` so every layer built against the
+    engine (drains, NICs, daemons, fastpath closures) works unchanged:
+    ``_times``/``_buckets`` are exposed as properties returning the
+    *active* partition's store, which routes even the direct structure
+    pokes of :class:`~repro.simulator.engine.SerialDrain` to the right
+    partition.  Events scheduled while an event executes inherit the
+    executing partition; the only explicit cross-partition seam is
+    :meth:`exchange_post` (driven by ``Network.transfer``).
+    """
+
+    partitioned = True
+
+    __slots__ = (
+        "coalesced",
+        "_nparts",
+        "_lookahead",
+        "_ptimes",
+        "_pbuckets",
+        "_cur",
+        "_host_pid",
+        "_exchange",
+        "_window_end",
+        "_live_pids",
+        "windows",
+        "cross_messages",
+    )
+
+    def __init__(
+        self,
+        partitions: int,
+        lookahead_s: float,
+        trace: Optional[Callable[[float, str], None]] = None,
+        coalesce: bool = True,
+    ) -> None:
+        if partitions < 1:
+            raise SimulationError(f"partitions must be >= 1, got {partitions}")
+        if not lookahead_s >= 0:  # also catches NaN
+            raise SimulationError(f"negative or NaN lookahead: {lookahead_s!r}")
+        # Simulator.__init__ is bypassed on purpose: it assigns _times /
+        # _buckets, which are read-only partition-routing properties here.
+        # The remaining base slots are initialized by hand.
+        self.now = 0.0
+        self._live = []
+        self._live_time = _NO_LIVE
+        self._seq = 0
+        self._trace = trace
+        self._events_executed = 0
+        self._extra_events = 0
+        self._blocked_actors = {}
+        self._running = False
+        self.coalesced = bool(coalesce)
+        self._nparts = partitions
+        self._lookahead = float(lookahead_s)
+        #: per-partition timestamp heaps / bucket dicts (Simulator layout)
+        self._ptimes: list[list[float]] = [[] for _ in range(partitions)]
+        self._pbuckets: list[dict[float, list[Any]]] = [
+            {} for _ in range(partitions)
+        ]
+        #: partition whose store scheduling currently routes into: the
+        #: source partition of the executing event, or the partition set
+        #: by :meth:`enter_partition` at wiring time
+        self._cur = 0
+        self._host_pid: dict[str, int] = {}
+        self._exchange: list[_Crossing] = []
+        self._window_end = 0.0
+        #: source partition of each now-queue entry (parallel to _live)
+        self._live_pids: list[int] = []
+        #: conservative windows completed (barrier flushes)
+        self.windows = 0
+        #: cross-partition messages merged at window barriers
+        self.cross_messages = 0
+
+    # ------------------------------------------------------------------ #
+    # partition topology
+
+    @property
+    def partitions(self) -> int:
+        return self._nparts
+
+    @property
+    def lookahead_s(self) -> float:
+        return self._lookahead
+
+    @property
+    def active_partition(self) -> int:
+        return self._cur
+
+    def register_host(self, host: str, partition: int) -> None:
+        """Pin ``host``'s events and deliveries to ``partition``."""
+        if not 0 <= partition < self._nparts:
+            raise SimulationError(
+                f"partition {partition} out of range for {self._nparts}"
+            )
+        self._host_pid[host] = partition
+
+    def partition_of_host(self, host: str) -> int:
+        """Partition owning ``host`` (unregistered hosts: partition 0)."""
+        return self._host_pid.get(host, 0)
+
+    def enter_partition(self, partition: int) -> None:
+        """Route subsequent wiring-time scheduling into ``partition``.
+
+        Only meaningful outside event execution (during execution the
+        active partition follows the executing event); the cluster uses
+        it to pin each rank's bootstrap events to the rank's partition.
+        """
+        if not 0 <= partition < self._nparts:
+            raise SimulationError(
+                f"partition {partition} out of range for {self._nparts}"
+            )
+        self._cur = partition
+
+    def is_remote(self, host: str) -> bool:
+        """Does delivering to ``host`` cross out of the active partition?"""
+        return self._host_pid.get(host, self._cur) != self._cur
+
+    # ------------------------------------------------------------------ #
+    # partition-routing views of the engine store
+
+    @property  # type: ignore[override]
+    def _times(self) -> list[float]:
+        """Active partition's timestamp heap (SerialDrain pokes included)."""
+        return self._ptimes[self._cur]
+
+    @property  # type: ignore[override]
+    def _buckets(self) -> dict[float, list[Any]]:
+        """Active partition's bucket dict."""
+        return self._pbuckets[self._cur]
+
+    # ------------------------------------------------------------------ #
+    # scheduling: same contract as Simulator, routed per partition
+
+    def _put(self, time: float, entry: list) -> None:
+        if time == self._live_time:
+            self._live.append(entry)
+            self._live_pids.append(self._cur)
+            return
+        buckets = self._pbuckets[self._cur]
+        b = buckets.get(time)
+        if b is None:
+            buckets[time] = entry
+            heappush(self._ptimes[self._cur], time)
+        elif type(b[0]) is list:
+            b.append(entry)
+        else:
+            buckets[time] = [b, entry]
+
+    def schedule(
+        self, delay: float, fn: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        if not delay >= 0:  # also catches NaN
+            raise SimulationError(f"negative or NaN delay: {delay!r}")
+        self._seq = seq = self._seq + 1
+        time = self.now + delay
+        entry = [time, seq, fn, args]
+        self._put(time, entry)
+        return EventHandle(entry)
+
+    def at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past: {time} < now={self.now}"
+            )
+        self._seq = seq = self._seq + 1
+        entry = [time, seq, fn, args]
+        self._put(time, entry)
+        return EventHandle(entry)
+
+    def post(self, time: float, fn: Callable[..., None], *args: Any) -> None:
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past: {time} < now={self.now}"
+            )
+        self._seq = seq = self._seq + 1
+        self._put(time, [time, seq, fn, args])
+
+    def post_at_seq(
+        self, time: float, seq: int, fn: Callable[..., None], *args: Any
+    ) -> None:
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past: {time} < now={self.now}"
+            )
+        entry = [time, seq, fn, args]
+        if time == self._live_time:
+            self._live.append(entry)
+            self._live_pids.append(self._cur)
+            return
+        self._insert_entry(self._cur, time, entry)
+
+    def _insert_entry(self, pid: int, time: float, entry: list) -> None:
+        """Seq-sorted insert into ``pid``'s bucket (pre-claimed seqs may
+        predate entries already parked at the timestamp)."""
+        buckets = self._pbuckets[pid]
+        b = buckets.get(time)
+        if b is None:
+            buckets[time] = entry
+            heappush(self._ptimes[pid], time)
+            return
+        if type(b[0]) is not list:
+            b = buckets[time] = [b]
+        seq = entry[_SEQ]
+        i = len(b)
+        while i > 0 and b[i - 1][_SEQ] > seq:
+            i -= 1
+        b.insert(i, entry)
+
+    # ------------------------------------------------------------------ #
+    # the cross-partition exchange
+
+    def exchange_post(
+        self,
+        dst_host: str,
+        time: float,
+        fn: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> None:
+        """Buffer a cross-partition delivery for the window barrier.
+
+        The global sequence slot is claimed *now* — the same call site
+        where the single-engine path's drain enqueue (or ``post``) would
+        have claimed it — so the merged entry executes at exactly the
+        ``(time, seq)`` position the single engine would have used.
+        """
+        self._seq = seq = self._seq + 1
+        pid = self._host_pid.get(dst_host, 0)
+        if not self._running:
+            # wiring-time crossing (no window in progress): merge directly
+            self._insert_entry(pid, time, [time, seq, fn, args])
+            return
+        if time < self._window_end:
+            raise SimulationError(
+                "conservative lookahead violated: crossing at "
+                f"t={time!r} inside window ending {self._window_end!r}"
+            )
+        self._exchange.append((pid, time, seq, fn, args))
+
+    def _flush_exchange(self) -> None:
+        buf = self._exchange
+        if not buf:
+            return
+        self._exchange = []
+        self.cross_messages += len(buf)
+        for pid, time, seq, fn, args in buf:
+            self._insert_entry(pid, time, [time, seq, fn, args])
+
+    # ------------------------------------------------------------------ #
+    # execution: global (time, seq) merge inside lookahead windows
+
+    def _peek_partition(self, pid: int) -> Optional[float]:
+        """Next live timestamp of ``pid`` (cancelled-only buckets popped,
+        matching ``Simulator.peek_time``)."""
+        times = self._ptimes[pid]
+        buckets = self._pbuckets[pid]
+        while times:
+            t = times[0]
+            b = buckets[t]
+            entries = b if type(b[0]) is list else (b,)
+            if any(entry[_FN] is not None for entry in entries):
+                return t
+            heappop(times)
+            del buckets[t]
+        return None
+
+    def _min_pending(self) -> Optional[float]:
+        best: Optional[float] = None
+        for pid in range(self._nparts):
+            t = self._peek_partition(pid)
+            if t is not None and (best is None or t < best):
+                best = t
+        return best
+
+    def peek_time(self) -> Optional[float]:
+        return self._min_pending()
+
+    def _pop_timestamp(self, t: float) -> list[tuple[int, list, int]]:
+        """Pop ``t``'s bucket from every partition owning it; return the
+        union as ``(seq, entry, source partition)`` in global seq order.
+
+        Global seqs are unique, so the sort never compares past the
+        first tuple element.
+        """
+        merged: list[tuple[int, list, int]] = []
+        for pid in range(self._nparts):
+            buckets = self._pbuckets[pid]
+            b = buckets.get(t)
+            if b is None:
+                continue
+            del buckets[t]
+            times = self._ptimes[pid]
+            if times and times[0] == t:
+                heappop(times)
+            if type(b[0]) is not list:
+                merged.append((b[_SEQ], b, pid))
+            else:
+                for entry in b:
+                    merged.append((entry[_SEQ], entry, pid))
+        merged.sort()
+        return merged
+
+    def _park(self, pid: int, t: float, entry: list) -> None:
+        """Re-park an unexecuted entry (callers feed ascending seqs, so
+        plain appends keep buckets seq-ordered)."""
+        buckets = self._pbuckets[pid]
+        b = buckets.get(t)
+        if b is None:
+            buckets[t] = entry
+            heappush(self._ptimes[pid], t)
+        elif type(b[0]) is list:
+            b.append(entry)
+        else:
+            buckets[t] = [b, entry]
+
+    def _drain_timestamp(
+        self,
+        t: float,
+        max_events: Optional[int],
+        executed: int,
+    ) -> int:
+        """Execute every live entry at ``t`` across all partitions in
+        global seq order, then the shared now-queue; park the tail on an
+        exception (resume semantics identical to ``Simulator.run``)."""
+        merged = self._pop_timestamp(t)
+        trace = self._trace
+        live = self._live
+        live_pids = self._live_pids
+        self._live_time = t
+        i = j = 0
+        try:
+            while True:
+                if i < len(merged):
+                    _seq, entry, pid = merged[i]
+                    from_live = False
+                elif j < len(live):
+                    entry = live[j]
+                    pid = live_pids[j]
+                    from_live = True
+                else:
+                    break
+                fn = entry[_FN]
+                if fn is None:
+                    if from_live:
+                        j += 1
+                    else:
+                        i += 1
+                    continue
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+                if from_live:
+                    j += 1
+                else:
+                    i += 1
+                self.now = t
+                executed += 1
+                self._events_executed += 1
+                self._cur = pid
+                if trace is not None:
+                    trace(t, getattr(fn, "__qualname__", repr(fn)))
+                fn(*entry[_ARGS])
+        except BaseException:
+            # a callback raised (or max_events tripped): park the
+            # unexecuted tail back into its source partitions so a
+            # subsequent run() resumes exactly where this one stopped
+            for k in range(i, len(merged)):
+                _seq, entry, pid = merged[k]
+                if entry[_FN] is not None:
+                    self._park(pid, t, entry)
+            for k in range(j, len(live)):
+                entry = live[k]
+                if entry[_FN] is not None:
+                    self._park(live_pids[k], t, entry)
+            raise
+        finally:
+            live.clear()
+            live_pids.clear()
+            self._live_time = _NO_LIVE
+            self._cur = 0
+        return executed
+
+    def step(self) -> bool:
+        merged = None
+        t = self._min_pending()
+        if t is None:
+            return False
+        merged = self._pop_timestamp(t)
+        for k, (_seq, entry, pid) in enumerate(merged):
+            fn = entry[_FN]
+            if fn is None:
+                continue
+            # park the rest *before* executing so same-time events the
+            # callback schedules append after them (seq order holds)
+            for m in range(k + 1, len(merged)):
+                _mseq, mentry, mpid = merged[m]
+                self._park(mpid, t, mentry)
+            self.now = t
+            self._events_executed += 1
+            self._cur = pid
+            if self._trace is not None:
+                self._trace(t, getattr(fn, "__qualname__", repr(fn)))
+            try:
+                fn(*entry[_ARGS])
+            finally:
+                self._cur = 0
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        check_deadlock: bool = True,
+    ) -> None:
+        """Drain conservative windows to completion (or ``until``).
+
+        Semantics match :meth:`Simulator.run` exactly: events at
+        ``until`` still execute, exactly ``max_events`` events execute
+        before the excess raises with its event left scheduled, and a
+        drained queue with blocked actors raises :class:`DeadlockError`.
+        """
+        self._running = True
+        executed = 0
+        lookahead = self._lookahead
+        try:
+            while True:
+                t = self._min_pending()
+                if t is None:
+                    break
+                if until is not None and t > until:
+                    self.now = until
+                    return
+                self._window_end = window_end = t + lookahead
+                if lookahead == 0.0:
+                    # degenerate window: one timestamp, then a barrier
+                    executed = self._drain_timestamp(t, max_events, executed)
+                else:
+                    # a timestamp at exactly window_end starts the *next*
+                    # window: a crossing may land exactly there, and it
+                    # must be merged (its seq was claimed mid-window)
+                    # before that timestamp drains
+                    while t is not None and t < window_end:
+                        if until is not None and t > until:
+                            self.now = until
+                            return
+                        executed = self._drain_timestamp(
+                            t, max_events, executed
+                        )
+                        t = self._min_pending()
+                self.windows += 1
+                self._flush_exchange()
+            if check_deadlock and self._blocked_actors:
+                raise DeadlockError(
+                    sorted(str(r) for r in self._blocked_actors.values())
+                )
+        finally:
+            # crossings buffered by an interrupted window must survive
+            # into the next run() (resume-after-fault, until-slicing)
+            self._flush_exchange()
+            self._live_time = _NO_LIVE
+            self._running = False

@@ -2,10 +2,36 @@
 
 from __future__ import annotations
 
+import os
+import random
+import zlib
+
 import pytest
 
 from repro import Cluster
 from repro.runtime.config import ClusterConfig
+
+
+def pytest_configure(config):
+    """Deterministic-reseed guard for parallel runs (pytest-xdist).
+
+    The tier-1 suite may run sharded across processes (``-n auto``; see
+    pytest.ini — xdist is optional, serial runs are unaffected).  The
+    simulation itself never touches global RNG state (the ``raw-random``
+    simlint rule), but test helpers could; seed each worker's global RNGs
+    from its stable worker id so any such use is reproducible run to run
+    instead of inheriting whatever entropy the worker started with.
+    """
+    worker = os.environ.get("PYTEST_XDIST_WORKER")
+    if worker is not None:
+        seed = zlib.crc32(worker.encode())
+        random.seed(seed)
+        try:
+            import numpy as np
+
+            np.random.seed(seed)
+        except ImportError:  # pragma: no cover - numpy is a core dep
+            pass
 
 
 @pytest.fixture

@@ -1,0 +1,32 @@
+# simlint fixture: host-thread rule (positive / suppressed / clean).
+import os
+
+import threading  # expect: host-thread
+from multiprocessing import Pool  # expect: host-thread
+import concurrent.futures  # expect: host-thread
+import asyncio as aio  # expect: host-thread
+
+
+def bad_fork() -> int:
+    return os.fork()  # expect: host-thread
+
+
+def suppressed() -> None:
+    import _thread  # simlint: ignore[host-thread] - fixture: suppressed hit
+
+    del _thread
+
+
+def clean(jobs: list[str]) -> list[str]:
+    # in-simulation "concurrency" is simulated time, not host threads
+    return sorted(jobs)
+
+
+def clean_names(thread_count: int) -> int:
+    # names merely containing the words are fine; only real imports and
+    # process-spawning calls count
+    threading_like = thread_count
+    return threading_like
+
+
+__all__ = ["bad_fork", "clean", "clean_names", "suppressed", "Pool", "aio"]

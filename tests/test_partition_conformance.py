@@ -1,0 +1,337 @@
+"""Cross-engine conformance suite for partitioned simulation.
+
+The ``partition_ranks`` knob shards the ranks into contiguous blocks,
+each advanced by its own engine store inside conservative lookahead
+windows, with cross-partition messages exchanged at window barriers
+(``simulator/partition.py``).  The claim is *bit identity*: the facade
+executes the union of the partition queues in exactly the global
+``(time, seq)`` order of the single engine, so every observable of a run
+— application results, simulated completion time, event count, every
+probe counter — is identical at any partition count, including 0 (the
+verbatim single-engine path).
+
+This suite is that claim's correctness argument (recorded BENCH
+checksums only witness the scenarios that were run): random schedules of
+sends, receives, collectives, checkpoints and faults are executed at
+``partition_ranks`` 0, 2 and 4 across all five protocols, and the full
+probe images are compared field for field.  It mirrors
+``tests/test_dispatch_fastpath.py``, the same differential methodology
+applied to the delivery-dispatch knob.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster
+from repro.runtime.config import ClusterConfig
+from repro.runtime.failure import OneShotFaults
+from repro.simulator.engine import Simulator
+from repro.simulator.partition import (
+    PartitionedSimulator,
+    derive_lookahead,
+    partition_of_rank,
+)
+
+#: the five fault-tolerance protocols (stack spelling)
+PROTOCOL_STACKS = ("vcausal", "manetho", "logon", "pessimistic", "coordinated")
+#: message-logging subset (replay-based recovery; cheap mid-run faults)
+LOGGING_STACKS = ("vcausal", "manetho", "logon", "pessimistic")
+#: the partition counts every schedule is checked at (0 = single engine)
+PARTITION_COUNTS = (0, 2, 4)
+
+
+def schedule_app(ops, iterations):
+    """SPMD application executing one random op schedule per iteration.
+
+    Durable state only (restartable style) so checkpoint/recovery
+    schedules replay it exactly; the returned value folds every payload
+    the rank consumed, making delivery-order divergence visible in
+    ``results``.
+    """
+
+    def app(ctx):
+        s = ctx.state
+        s.setdefault("it", 0)
+        s.setdefault("acc", ctx.rank + 1)
+        right = (ctx.rank + 1) % ctx.size
+        left = (ctx.rank - 1) % ctx.size
+        while s["it"] < iterations:
+            yield from ctx.checkpoint_poll()
+            for op in ops:
+                kind = op[0]
+                if kind == "ring":
+                    msg = yield from ctx.sendrecv(
+                        right, op[1], left, tag=3, payload=(ctx.rank, s["acc"])
+                    )
+                    s["acc"] = (s["acc"] * 31 + msg.payload[1] + 7) % 1_000_003
+                elif kind == "allreduce":
+                    total = yield from ctx.allreduce(op[1], s["acc"] % 9973)
+                    s["acc"] = (s["acc"] * 17 + total) % 1_000_003
+                elif kind == "bcast":
+                    root = op[1] % ctx.size
+                    v = yield from ctx.bcast(root, op[2], payload=s["acc"] % 131)
+                    if v is not None:
+                        s["acc"] = (s["acc"] * 13 + v) % 1_000_003
+                elif kind == "compute":
+                    yield from ctx.compute_seconds(op[1])
+            s["it"] += 1
+        return s["acc"]
+
+    return app
+
+
+def run_image(stack, ops, iterations, nprocs, *, partition_ranks,
+              fault_at=None, checkpoint_policy="none",
+              checkpoint_interval_s=None, el_count=1, **config_kw):
+    """One run's complete observable image as plain data."""
+    config = ClusterConfig(
+        partition_ranks=partition_ranks, el_count=el_count, **config_kw
+    )
+    kw = {}
+    if fault_at is not None:
+        kw["fault_plan"] = OneShotFaults(fault_at)
+    result = Cluster(
+        nprocs=nprocs,
+        app_factory=schedule_app(ops, iterations),
+        stack=stack,
+        config=config,
+        checkpoint_policy=checkpoint_policy,
+        checkpoint_interval_s=checkpoint_interval_s,
+        **kw,
+    ).run(max_events=30_000_000)
+    probes = dataclasses.asdict(result.probes)
+    return {
+        "finished": result.finished,
+        "results": result.results,
+        "sim_time": result.sim_time,
+        "events_executed": result.events_executed,
+        "probes": probes,
+    }
+
+
+def assert_identical(stack, ops, iterations, nprocs, **kw):
+    """The single-engine image must survive every partition count."""
+    ref = run_image(stack, ops, iterations, nprocs, partition_ranks=0, **kw)
+    assert ref["finished"]
+    for k in PARTITION_COUNTS[1:]:
+        part = run_image(stack, ops, iterations, nprocs, partition_ranks=k, **kw)
+        assert part["finished"]
+        assert part["results"] == ref["results"], (stack, k)
+        assert part["sim_time"] == ref["sim_time"], (stack, k)
+        assert part["events_executed"] == ref["events_executed"], (stack, k)
+        if part["probes"] != ref["probes"]:
+            diffs = {
+                f: (part["probes"][f], ref["probes"][f])
+                for f in part["probes"]
+                if part["probes"][f] != ref["probes"][f]
+            }
+            raise AssertionError(
+                f"{stack} @ partition_ranks={k}: probe image diverged: {diffs}"
+            )
+
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("ring"), st.integers(1, 200_000)),
+        st.tuples(st.just("allreduce"), st.integers(8, 4096)),
+        st.tuples(st.just("bcast"), st.integers(0, 7), st.integers(1, 65_536)),
+        st.tuples(st.just("compute"), st.floats(0.0, 0.01, allow_nan=False)),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+@settings(max_examples=4, deadline=None)
+@given(ops=OPS, data=st.data())
+def test_differential_random_schedules(ops, data):
+    """Random op schedules: every partition count is bit-identical."""
+    stack = data.draw(st.sampled_from(PROTOCOL_STACKS))
+    nprocs = data.draw(st.integers(2, 5))
+    iterations = data.draw(st.integers(1, 3))
+    assert_identical(stack, ops, iterations, nprocs)
+
+
+@settings(max_examples=3, deadline=None)
+@given(ops=OPS, data=st.data())
+def test_differential_random_faults(ops, data):
+    """A mid-run crash + recovery stays bit-identical when partitioned."""
+    stack = data.draw(st.sampled_from(LOGGING_STACKS))
+    nprocs = data.draw(st.integers(3, 5))
+    victim = data.draw(st.integers(0, nprocs - 1))
+    frac = data.draw(st.floats(0.15, 0.85))
+    base = run_image(stack, ops, 3, nprocs, partition_ranks=0)
+    fault_at = [(base["sim_time"] * frac, victim)]
+    assert_identical(stack, ops, 3, nprocs, fault_at=fault_at)
+
+
+@settings(max_examples=3, deadline=None)
+@given(ops=OPS, data=st.data())
+def test_differential_random_checkpoints(ops, data):
+    """Checkpoint waves (and restart-from-checkpoint) stay identical."""
+    stack = data.draw(st.sampled_from(PROTOCOL_STACKS))
+    policy = (
+        "coordinated"
+        if stack == "coordinated"
+        else data.draw(st.sampled_from(["round-robin", "coordinated"]))
+    )
+    nprocs = data.draw(st.integers(2, 4))
+    interval = data.draw(st.floats(0.005, 0.05))
+    assert_identical(
+        stack, ops, 3, nprocs,
+        checkpoint_policy=policy, checkpoint_interval_s=interval,
+    )
+
+
+def test_differential_fault_under_checkpointing():
+    """Pinned deep schedule: checkpoints + a crash + replay, all counts."""
+    ops = [("ring", 4096), ("allreduce", 64), ("compute", 0.002)]
+    base = run_image(
+        "vcausal", ops, 6, 4, partition_ranks=0,
+        checkpoint_policy="round-robin", checkpoint_interval_s=0.02,
+    )
+    fault_at = [(base["sim_time"] * 0.5, 1)]
+    assert_identical(
+        "vcausal", ops, 6, 4, fault_at=fault_at,
+        checkpoint_policy="round-robin", checkpoint_interval_s=0.02,
+    )
+
+
+def test_differential_every_protocol_pinned():
+    """One fixed mixed schedule through every protocol (no hypothesis
+    luck involved: this is the guaranteed-coverage floor)."""
+    ops = [("ring", 32_768), ("bcast", 1, 512), ("allreduce", 8)]
+    for stack in PROTOCOL_STACKS:
+        assert_identical(stack, ops, 2, 4)
+
+
+def test_differential_sharded_el_pinning():
+    """EL shards pinned to different partitions (shard_partition): the
+    exchange now carries daemon→EL and shard→shard sync traffic too."""
+    ops = [("ring", 2048), ("allreduce", 64)]
+    assert_identical(
+        "vcausal", ops, 3, 4,
+        el_count=4, el_sync_strategy="tree", el_sync_interval_s=10e-3,
+    )
+
+
+def test_differential_composes_with_engine_knobs():
+    """partition_ranks composes with the other engine-level knobs."""
+    ops = [("ring", 8192), ("allreduce", 32)]
+    for knobs in (
+        {"engine_coalesce": False},
+        {"delivery_fastpath": False},
+        {"engine_coalesce": False, "delivery_fastpath": False},
+    ):
+        assert_identical("vcausal", ops, 2, 4, **knobs)
+
+
+# --------------------------------------------------------------------- #
+# the knob installs what it claims to install
+
+def test_partitioned_facade_is_installed_and_windows_advance():
+    """partition_ranks>0 selects the facade; windows and cross-partition
+    crossings actually happen (i.e. the conformance above is not
+    vacuously exercising the single-engine path)."""
+    ops = [("ring", 4096), ("allreduce", 64)]
+    cluster = Cluster(
+        nprocs=4, app_factory=schedule_app(ops, 2), stack="vcausal",
+        config=ClusterConfig(partition_ranks=4),
+    )
+    sim = cluster.sim
+    assert isinstance(sim, PartitionedSimulator)
+    assert sim.partitioned and sim.partitions == 4
+    assert sim.lookahead_s == derive_lookahead(cluster.config)
+    # every rank host is registered in its contiguous block
+    for r in range(4):
+        assert sim.partition_of_host(cluster.host_of(r)) == partition_of_rank(
+            r, 4, 4
+        )
+    result = cluster.run(max_events=30_000_000)
+    assert result.finished
+    assert sim.windows > 0
+    assert sim.cross_messages > 0
+
+
+def test_partition_counters_stay_out_of_probes():
+    """windows/cross_messages live on the facade, not in the probe image
+    (the full probe image must stay comparable across partition counts)."""
+    probe_fields = {
+        f.name
+        for f in dataclasses.fields(
+            Cluster(nprocs=2, app_factory=schedule_app([("ring", 64)], 1),
+                    stack="vcausal").probes
+        )
+    }
+    assert "windows" not in probe_fields
+    assert "cross_messages" not in probe_fields
+
+
+def test_single_engine_default_is_verbatim():
+    """partition_ranks=0 keeps the plain engine — no facade in the path."""
+    cluster = Cluster(
+        nprocs=2, app_factory=schedule_app([("ring", 64)], 1), stack="vcausal",
+    )
+    assert type(cluster.sim) is Simulator
+    assert not cluster.sim.partitioned
+
+
+def test_partitions_clamped_to_nprocs():
+    """More partitions than ranks would leave empty stores; the cluster
+    clamps (results are identical either way by the merge argument)."""
+    cluster = Cluster(
+        nprocs=2, app_factory=schedule_app([("ring", 64)], 1), stack="vcausal",
+        config=ClusterConfig(partition_ranks=8),
+    )
+    assert cluster.partitions == 2
+    assert cluster.sim.partitions == 2
+
+
+# --------------------------------------------------------------------- #
+# unit corners of the partition module
+
+def test_partition_of_rank_blocks_are_contiguous_and_balanced():
+    for nprocs, k in ((8, 4), (10, 4), (512, 4), (7, 3), (5, 5)):
+        pids = [partition_of_rank(r, nprocs, k) for r in range(nprocs)]
+        assert pids == sorted(pids)  # contiguous blocks
+        assert set(pids) == set(range(k))  # no empty partition
+        sizes = [pids.count(p) for p in range(k)]
+        assert max(sizes) - min(sizes) <= 1  # balanced
+
+
+def test_partition_of_rank_validates():
+    with pytest.raises(ValueError):
+        partition_of_rank(8, 8, 4)
+    with pytest.raises(ValueError):
+        partition_of_rank(-1, 8, 4)
+    with pytest.raises(ValueError):
+        partition_of_rank(0, 8, 0)
+
+
+def test_derive_lookahead_is_min_link_latency():
+    cfg = ClusterConfig()
+    assert derive_lookahead(cfg) == cfg.network_latency_s
+    assert derive_lookahead(cfg.with_overrides(network_latency_s=1e-3)) == 1e-3
+
+
+def test_conservative_violation_is_detected():
+    """A crossing scheduled inside the open window is a model bug the
+    facade refuses to merge silently."""
+    from repro.simulator.engine import SimulationError
+
+    sim = PartitionedSimulator(2, 1.0)
+    sim.register_host("a", 0)
+    sim.register_host("b", 1)
+
+    def violate():
+        # now=1.0, window end = 2.0; a crossing at 1.5 breaks lookahead
+        sim.exchange_post("b", 1.5, lambda: None, ())
+
+    sim.schedule(1.0, violate)
+    with pytest.raises(SimulationError, match="conservative lookahead"):
+        sim.run()

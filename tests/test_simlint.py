@@ -49,6 +49,7 @@ RULE_FIXTURES = [
     "unordered_iter.py",
     "id_order.py",
     "env_read.py",
+    "host_thread.py",
     "missing_slots.py",
     "hot_closure.py",
     "mutable_default.py",

@@ -50,6 +50,7 @@ _ALL_SRC = ["src/repro/*", "tools/*"]
 _SLOTS_MODULES = [
     "src/repro/simulator/engine.py",
     "src/repro/simulator/network.py",
+    "src/repro/simulator/partition.py",
     "src/repro/simulator/process.py",
     "src/repro/core/events.py",
     "src/repro/core/vcausal.py",
@@ -63,6 +64,12 @@ DEFAULT_SCOPES: dict[str, list[str]] = {
     "unordered-iter": _SIM_PACKAGES + ["tools/*"],
     "id-order": _SIM_PACKAGES,
     "env-read": _SIM_PACKAGES,
+    # host concurrency is banned across all of src/repro (not just the
+    # four sim packages): a thread anywhere under the import graph of a
+    # simulation breaks single-threaded determinism.  Host parallelism
+    # lives outside — benchmarks/perf/pool.py runs one whole simulation
+    # per worker process.
+    "host-thread": ["src/repro/*"],
     # hot-path family
     "missing-slots": _SLOTS_MODULES,
     "hot-closure": ["*"],

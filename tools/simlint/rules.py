@@ -11,6 +11,11 @@ methodology of ``docs/BENCHMARKING.md``:
   filesystem listings
 * ``id-order``        — ``id()`` (CPython address, varies across runs)
 * ``env-read``        — ``os.environ`` / ``os.getenv`` inside sim paths
+* ``host-thread``     — host concurrency machinery (``threading``,
+  ``multiprocessing``, ``concurrent``, ``asyncio``, ``_thread``,
+  ``os.fork``) in simulated code; simulations are single-threaded by
+  contract, and host parallelism runs whole simulations in separate
+  processes outside ``src/repro`` (``benchmarks/perf/pool.py``)
 
 **Hot path** — allocation discipline for the compiled-core on-ramp:
 
@@ -39,6 +44,7 @@ RULES: dict[str, str] = {
     "unordered-iter": "iteration over a set or unsorted filesystem listing",
     "id-order": "id() used in simulation code (address-dependent ordering)",
     "env-read": "environment read inside a simulated path",
+    "host-thread": "host thread/process/async machinery inside simulated code",
     "missing-slots": "class in a hot module without __slots__",
     "hot-closure": "closure/lambda allocated inside a `# simlint: hot` function",
     "mutable-default": "mutable default argument value",
@@ -47,7 +53,8 @@ RULES: dict[str, str] = {
 }
 
 DETERMINISM_RULES = frozenset(
-    ["wall-clock", "raw-random", "unordered-iter", "id-order", "env-read"]
+    ["wall-clock", "raw-random", "unordered-iter", "id-order", "env-read",
+     "host-thread"]
 )
 HOTPATH_RULES = frozenset(["missing-slots", "hot-closure", "mutable-default"])
 
@@ -96,6 +103,22 @@ _NUMPY_SEEDED_OK = {"numpy.random.default_rng", "numpy.random.SeedSequence"}
 _FS_ORDER = {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
 
 _ENV_READS = {"os.environ", "os.getenv", "os.environb", "os.putenv"}
+
+#: top-level modules that introduce host concurrency — any import inside
+#: simulated code is a violation (simulations are single-threaded by
+#: contract; host parallelism runs whole simulations in separate
+#: processes, outside src/repro)
+_HOST_THREAD_MODULES = {
+    "threading",
+    "_thread",
+    "multiprocessing",
+    "concurrent",
+    "asyncio",
+}
+
+#: call targets that spawn host threads/processes without an import of
+#: the modules above
+_HOST_THREAD_CALLS = {"os.fork", "os.forkpty", "os.posix_spawn", "os.spawnv"}
 
 #: class bases that manage their own layout (no __slots__ expected)
 _SLOTS_EXEMPT_BASES = {
@@ -194,6 +217,16 @@ class RuleVisitor(ast.NodeVisitor):
 
     # -- imports -------------------------------------------------------- #
 
+    def _check_host_thread_import(self, node: ast.AST, module: str) -> None:
+        if module.split(".")[0] in _HOST_THREAD_MODULES:
+            self.report(
+                node,
+                "host-thread",
+                f"import of `{module}` introduces host concurrency; "
+                "simulations are single-threaded — host parallelism belongs "
+                "outside src/repro (one whole simulation per worker process)",
+            )
+
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             self.modules[alias.asname or alias.name.split(".")[0]] = alias.name
@@ -203,6 +236,7 @@ class RuleVisitor(ast.NodeVisitor):
                     "raw-random",
                     "import of stdlib `random` — use repro.simulator.rng streams",
                 )
+            self._check_host_thread_import(node, alias.name)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -215,6 +249,7 @@ class RuleVisitor(ast.NodeVisitor):
                 "raw-random",
                 "import from stdlib `random` — use repro.simulator.rng streams",
             )
+        self._check_host_thread_import(node, module)
         self.generic_visit(node)
 
     # -- determinism: name-table rules ---------------------------------- #
@@ -252,6 +287,13 @@ class RuleVisitor(ast.NodeVisitor):
         dotted = self.resolve(func)
         if dotted is not None:
             self._check_random_call(node, dotted)
+            if dotted in _HOST_THREAD_CALLS:
+                self.report(
+                    node,
+                    "host-thread",
+                    f"`{dotted}` spawns a host process from inside simulated "
+                    "code; fork whole simulations outside src/repro instead",
+                )
             if dotted in _FS_ORDER:
                 self.report(
                     node,
