@@ -1,11 +1,12 @@
 """Host-side scenario pool for ``run_bench.py --jobs N``.
 
-This is the **only** place in the repository where host-level parallelism
-is allowed (the ``host-thread`` simlint rule forbids ``threading`` /
-``multiprocessing`` / ``concurrent`` / ``asyncio`` imports everywhere
-under ``src/repro``): simulations must stay single-threaded and
-deterministic, so parallelism lives strictly *between* simulations, one
-whole scenario per worker process.
+This is one of exactly two places in the repository where host-level
+parallelism is allowed (the other is ``src/repro/hostexec``, the
+multiprocess partition backend; the ``host-thread`` simlint rule forbids
+``threading`` / ``multiprocessing`` / ``concurrent`` / ``asyncio``
+imports everywhere else under ``src/repro``): simulations must stay
+single-threaded and deterministic, so parallelism lives strictly
+*between* simulations, one whole scenario per worker process.
 
 Design constraints, in order:
 
@@ -14,12 +15,19 @@ Design constraints, in order:
   fused vs layered) — run inside one worker process, exactly as in the
   serial driver, so intra-scenario comparisons never cross a process
   boundary.  Scenario-to-scenario walls *are* noisier under ``--jobs``
-  (workers share cores and caches); docs/BENCHMARKING.md documents when
-  a recorded wall is comparable.
-* **Deterministic collation.**  Workers return out of order
-  (``imap_unordered``); results are re-keyed into the scenario
-  registry's order before anything is reported, so the emitted JSON is
-  byte-stable for a given set of checksums regardless of scheduling.
+  (workers share cores and caches), so every record is annotated
+  ``"contended": true`` and ``compare()`` refuses to compute a
+  vs-baseline speedup from it; docs/BENCHMARKING.md documents when a
+  recorded wall is comparable.
+* **Dead workers fail loudly.**  A worker killed mid-scenario (signal,
+  OOM) must fail *that scenario* with an error naming it — not hang the
+  collation or silently drop the record.  ``ProcessPoolExecutor``
+  breaks every outstanding future when a worker dies, and the future →
+  scenario map turns that into a named error.
+* **Deterministic collation.**  Futures complete out of order; results
+  are re-keyed into the scenario registry's order before anything is
+  reported, so the emitted JSON is byte-stable for a given set of
+  checksums regardless of scheduling.
 * **Scenarios travel by name.**  The registry maps names to lambdas,
   which do not pickle; workers re-import the registry and look the
   scenario up by name, so the parent only ships ``(name, quick,
@@ -29,16 +37,17 @@ Design constraints, in order:
 from __future__ import annotations
 
 import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
 
-def _run_scenario(job: tuple[str, bool, int]) -> tuple[str, dict[str, Any]]:
+def _run_scenario(name: str, quick: bool, repeats: int) -> dict[str, Any]:
     """Worker entry point: rebuild the scenario by name and measure it."""
-    name, quick, repeats = job
     from benchmarks.perf import run_bench
 
     fn = run_bench.scenarios(quick)[name]
-    return name, run_bench.measure(fn, repeats)
+    return run_bench.measure(fn, repeats)
 
 
 def run_parallel(
@@ -47,7 +56,10 @@ def run_parallel(
     """Measure every scenario across ``jobs`` worker processes.
 
     Returns the same ``{name: measure(...)}`` mapping as the serial
-    ``run_all``, in scenario-registry order.
+    ``run_all``, in scenario-registry order, with each record marked
+    ``contended`` so downstream comparisons know these walls shared
+    cores.  Raises ``RuntimeError`` naming the scenario whose worker
+    died instead of hanging the sweep.
     """
     from benchmarks.perf import run_bench
 
@@ -60,11 +72,28 @@ def run_parallel(
     except ValueError:  # pragma: no cover - non-fork platforms
         ctx = multiprocessing.get_context()
     collected: dict[str, dict[str, Any]] = {}
-    with ctx.Pool(processes=max(1, jobs)) as pool:
-        jobs_iter = pool.imap_unordered(
-            _run_scenario, [(name, quick, repeats) for name in names]
-        )
-        for name, result in jobs_iter:
+    with ProcessPoolExecutor(max_workers=max(1, jobs), mp_context=ctx) as pool:
+        futures = {
+            name: pool.submit(_run_scenario, name, quick, repeats)
+            for name in names
+        }
+        for name, future in futures.items():
+            try:
+                result = future.result()
+            except BrokenProcessPool:
+                # a dead worker breaks every outstanding future at once;
+                # the scenarios without a completed result are the ones
+                # whose measurements were lost (the killed one among them)
+                lost = [
+                    n
+                    for n, f in futures.items()
+                    if f.cancelled() or (f.done() and f.exception() is not None)
+                ]
+                raise RuntimeError(
+                    "benchmark worker died mid-scenario (killed or out of "
+                    "memory); lost scenarios: " + ", ".join(lost)
+                ) from None
+            result["contended"] = True
             collected[name] = result
             if verbose:
                 print(

@@ -1,0 +1,28 @@
+"""Shared-nothing multiprocess execution backend for partitioned runs.
+
+``partition_ranks=K`` (PR 9) shards ranks into per-partition event
+stores advanced through conservative lookahead windows inside one
+process.  This package is the other half of host-side scale-out: with
+``partition_workers=W`` the cluster is wired once in the parent, then
+**forked** into W identical worker processes, each draining only its
+contiguous block of partitions.  Workers advance in lockstep through
+the same ``[W, W+lookahead)`` windows; cross-partition messages travel
+over pipes at the window barriers through a deterministic codec
+(:mod:`repro.hostexec.codec`), and a driver-side replay of each
+window's event journal reassigns global sequence numbers
+(:mod:`repro.hostexec.driver`), so every simulated observable —
+results, ``sim_time``, event counts, the full probe image, and
+therefore the recorded BENCH checksums — is bit-identical to both the
+in-process partitioned engine and the single engine.
+
+This package is the one sanctioned carve-out from simlint's
+``host-thread`` rule (scoped out in ``pyproject.toml``): host
+concurrency stays quarantined here, behind the window-barrier protocol,
+and never leaks into simulated code — ``run_bench.py --check-static``
+verifies it is the only importer of :mod:`multiprocessing` under
+``src/``.
+"""
+
+from repro.hostexec.sim import WorkerSimulator
+
+__all__ = ["WorkerSimulator"]

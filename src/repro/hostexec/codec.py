@@ -1,0 +1,198 @@
+"""Deterministic wire codec for cross-worker barrier records.
+
+A crossing record's payload is ``(deliver, args)`` — a callback plus its
+argument tuple, exactly what :meth:`Network.transfer` was handed.  Most
+of it is plain data (``WireMessage``, ``Piggyback``, ``Determinant``,
+``BoundVector`` — all picklable by value), but three kinds of object
+carry *identity* that must resolve to the destination worker's replica
+rather than travel by value:
+
+* **wire sinks** — each daemon's stored ``wire_sink`` attribute (a bound
+  method or a fastpath closure).  Encoded as ``("sink", rank)`` and
+  resolved to the replica daemon's current ``wire_sink``.
+* **bound methods** on registered instances (daemons and EL shards) —
+  e.g. ``shard.receive_log`` or ``daemon._el_ack``.  Encoded
+  structurally as ``("method", inst_token, name)``.
+* **ElAck journal handles** — an :class:`~repro.core.event_logger.ElAck`
+  aliases its logger's live ``_ack_log`` list, and vcausal's journal-fold
+  fast path requires ``ack.src`` *identity* to be stable per receiver.
+  The codec ships only the journal entries the destination worker has
+  not yet seen (per ``(shard, dst_worker)`` tail state) and rebuilds the
+  ack over the destination's **mirror journal**: the replica shard's own
+  ``_ack_log``, which on a non-owner worker is never written locally and
+  therefore extends to exactly the true log, entry for entry, at the
+  same absolute positions.
+
+Every worker builds its own :class:`HostCodec` after the fork; since all
+replicas are copies of one wiring-time memory image, the rank/shard
+token space is identical everywhere.  Unknown callables (closures,
+lambdas, methods on unregistered objects) and identity-bearing
+infrastructure (simulator, network, cluster) raise a
+:class:`~repro.simulator.engine.SimulationError` naming the object —
+a loud failure beats a silently forked replica.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from types import FunctionType, MethodType
+from typing import Any, Mapping
+
+from repro.core.event_logger import ElAck, EventLogger
+from repro.simulator.engine import SerialDrain, SimulationError, Simulator
+from repro.simulator.network import Network, Nic
+
+__all__ = ["HostCodec"]
+
+#: infrastructure that must never cross a worker boundary by value
+_IDENTITY_TYPES = (Simulator, Network, Nic, SerialDrain)
+
+
+class HostCodec:
+    """Per-worker encoder/decoder for barrier-crossing payloads."""
+
+    def __init__(
+        self,
+        daemons: Mapping[int, Any],
+        shards: list[EventLogger],
+    ) -> None:
+        self._daemons = daemons
+        self._shards = shards
+        # id -> token maps over this worker's replica objects (the fork
+        # preserves object identity within each process, so ids taken
+        # here match ids reachable from any locally-created record)
+        self._sink_tokens: dict[int, tuple[Any, ...]] = {}
+        self._inst_tokens: dict[int, tuple[Any, ...]] = {}
+        for rank, daemon in daemons.items():
+            self._sink_tokens[id(daemon.wire_sink)] = ("sink", rank)
+            self._inst_tokens[id(daemon)] = ("daemon", rank)
+        for k, shard in enumerate(shards):
+            self._inst_tokens[id(shard)] = ("shard", k)
+        #: (shard index, dst worker) -> ack-journal entries already
+        #: shipped there; the next ElAck to that worker ships only the
+        #: tail past this mark
+        self._ack_sent: dict[tuple[int, int], int] = {}
+
+    @classmethod
+    def for_cluster(cls, cluster: Any) -> "HostCodec":
+        group = cluster.event_logger
+        shards = list(group.shards) if group is not None else []
+        return cls(cluster.daemons, shards)
+
+    # ------------------------------------------------------------------ #
+    # encode side (record's source worker)
+
+    def encode(self, dst_worker: int, deliver: Any, args: tuple[Any, ...]) -> bytes:
+        buf = io.BytesIO()
+        _Encoder(buf, self, dst_worker).dump((deliver, args))
+        return buf.getvalue()
+
+    def _encode_elack(self, ack: ElAck, dst_worker: int) -> tuple[Any, ...]:
+        shard = ack.src
+        token = self._inst_tokens.get(id(shard))
+        if token is None or token[0] != "shard":
+            raise SimulationError("ElAck from an unregistered event logger")
+        k = token[1]
+        key = (k, dst_worker)
+        base = self._ack_sent.get(key, 0)
+        upto = ack.upto
+        if upto < base:
+            raise SimulationError(
+                f"ElAck journal regressed for shard {k} -> worker "
+                f"{dst_worker}: upto {upto} < shipped {base}"
+            )
+        tail = tuple(ack.log[base:upto])
+        self._ack_sent[key] = upto
+        return ("elack", k, ack.data, upto, base, tail)
+
+    # ------------------------------------------------------------------ #
+    # decode side (record's destination worker)
+
+    def decode(self, blob: bytes) -> tuple[Any, tuple[Any, ...]]:
+        deliver, args = _Decoder(io.BytesIO(blob), self).load()
+        return deliver, args
+
+    def _resolve_inst(self, token: tuple[Any, ...]) -> Any:
+        kind, key = token
+        if kind == "daemon":
+            return self._daemons[key]
+        if kind == "shard":
+            return self._shards[key]
+        raise SimulationError(f"unknown instance token {token!r}")
+
+    def _decode_elack(self, token: tuple[Any, ...]) -> ElAck:
+        _, k, data, upto, base, tail = token
+        shard = self._shards[k]
+        mirror = shard._ack_log
+        if len(mirror) != base:
+            raise SimulationError(
+                f"ack-journal mirror for shard {k} out of step: have "
+                f"{len(mirror)} entries, sender shipped from {base}"
+            )
+        mirror.extend(tail)
+        ack = ElAck.__new__(ElAck)
+        ack.data = data
+        ack.src = shard
+        ack.log = mirror
+        ack.upto = upto
+        return ack
+
+
+class _Encoder(pickle.Pickler):
+    def __init__(self, buf: io.BytesIO, codec: HostCodec, dst_worker: int) -> None:
+        super().__init__(buf, protocol=pickle.HIGHEST_PROTOCOL)
+        self._codec = codec
+        self._dst = dst_worker
+
+    def persistent_id(self, obj: Any) -> Any:  # noqa: D102 (pickle hook)
+        codec = self._codec
+        token = codec._sink_tokens.get(id(obj))
+        if token is not None:
+            return token
+        if type(obj) is ElAck:
+            return codec._encode_elack(obj, self._dst)
+        token = codec._inst_tokens.get(id(obj))
+        if token is not None:
+            return ("inst",) + token
+        if isinstance(obj, MethodType):
+            inst = codec._inst_tokens.get(id(obj.__self__))
+            if inst is not None:
+                return ("method", inst, obj.__func__.__name__)
+            raise SimulationError(
+                f"cannot ship bound method {obj.__func__.__qualname__} on "
+                f"unregistered {type(obj.__self__).__name__} across workers"
+            )
+        if isinstance(obj, FunctionType) and "<locals>" in obj.__qualname__:
+            raise SimulationError(
+                f"cannot ship closure {obj.__qualname__} across workers"
+            )
+        if isinstance(obj, _IDENTITY_TYPES):
+            raise SimulationError(
+                f"identity-bearing {type(obj).__name__} reached the "
+                "cross-worker codec"
+            )
+        return None
+
+
+class _Decoder(pickle.Unpickler):
+    def __init__(self, buf: io.BytesIO, codec: HostCodec) -> None:
+        super().__init__(buf)
+        self._codec = codec
+
+    def persistent_load(self, pid: Any) -> Any:  # noqa: D102 (pickle hook)
+        codec = self._codec
+        kind = pid[0]
+        if kind == "sink":
+            return codec._daemons[pid[1]].wire_sink
+        if kind == "method":
+            inst = codec._resolve_inst(pid[1])
+            fn = getattr(inst, pid[2], None)
+            if not callable(fn):
+                raise SimulationError(f"cannot resolve method token {pid!r}")
+            return fn
+        if kind == "inst":
+            return codec._resolve_inst(pid[1:])
+        if kind == "elack":
+            return codec._decode_elack(pid)
+        raise SimulationError(f"unknown persistent token {pid!r}")

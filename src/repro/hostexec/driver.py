@@ -1,0 +1,360 @@
+"""Driver side of the shared-nothing multiprocess partition backend.
+
+``run_multiprocess`` wires nothing itself — the cluster is fully
+constructed and started in the parent, then **forked** into W workers
+(inheritance, not pickling: app factories, closures, and the whole
+object graph travel for free, and every replica starts from one
+bit-identical memory image).  The parent never advances its own
+simulator; it becomes the barrier driver:
+
+1. collect each worker's ``("done", next_time, exec_log, nclaims,
+   outgoing)`` for the window just drained;
+2. **replay** the k-way merge of the per-worker event journals in
+   global ``(time, seq)`` order, assigning true global sequence
+   numbers to every provisional claim in exactly the order the single
+   engine would have claimed them (:func:`_replay`);
+3. resolve and route the crossing records to their destination
+   workers' owners;
+4. pick the next window start ``W' = min(worker next-times ∪ record
+   earliest-RX times)`` — conservative (a too-early window is merely
+   empty) — and broadcast ``("step", mapping, g_next, W', W'+la,
+   incoming)``.
+
+When no worker has pending work and no record is in flight the driver
+broadcasts ``("finish",)`` and collates results, exit times, probe
+images, and event counts into the parent cluster — producing the same
+:class:`~repro.runtime.cluster.RunResult` (and the same
+:class:`~repro.simulator.engine.DeadlockError` on a wedged app) as the
+in-process engines, bit for bit.
+
+A worker that dies (signal, OOM) breaks its pipe; the driver surfaces
+a :class:`~repro.simulator.engine.SimulationError` naming the worker,
+its partitions, and the exit code instead of hanging the barrier.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import fields as dataclass_fields
+from typing import Any, Optional
+
+from repro.hostexec.worker import worker_main
+from repro.metrics.probes import ProcessProbes
+from repro.simulator.engine import DeadlockError, SimulationError
+from repro.simulator.partition import partition_of_rank
+
+__all__ = ["run_multiprocess", "worker_of_partition"]
+
+
+def worker_of_partition(pid: int, partitions: int, workers: int) -> int:
+    """Contiguous block ownership, same shape as ``partition_of_rank``."""
+    return pid * workers // partitions
+
+
+def _validate_envelope(
+    cluster: Any, until: Optional[float], max_events: Optional[int]
+) -> None:
+    """Reject knobs the multiprocess backend cannot reproduce exactly.
+
+    Everything here *works* on the in-process engines; the worker
+    backend refuses loudly rather than risk a silently-diverging run.
+    """
+    problems = []
+    if until is not None:
+        problems.append("until-slicing (run(until=...))")
+    if cluster.fault_plan is not None:
+        problems.append("fault plans (restarts cross worker boundaries)")
+    if cluster.scheduler.policy != "none":
+        problems.append(
+            f"checkpoint policy {cluster.scheduler.policy!r} (chunked "
+            "stable-storage transfers)"
+        )
+    if not cluster.spec.full_duplex:
+        problems.append(
+            "half-duplex NICs (TX/RX share one reservation timeline)"
+        )
+    if cluster.spec.event_logger and cluster.config.el_count > 1:
+        problems.append("el_count > 1 (periodic shard-sync timers)")
+    if cluster.config.rpc_timeout_s:
+        problems.append("rpc_timeout_s > 0 (retry channels)")
+    if problems:
+        raise SimulationError(
+            "partition_workers envelope violated: " + "; ".join(problems)
+        )
+
+
+def _replay(
+    exec_logs: list[list[tuple[float, int, int]]],
+    claim_counts: list[int],
+    g_base: int,
+) -> tuple[list[list[int]], int]:
+    """Reassign global seq numbers for one window's claims.
+
+    Each worker journaled ``(time, seq, nclaims)`` per executed event,
+    with ``seq`` either already global (``<= g_base``) or provisional
+    (``g_base + j`` for its j-th claim).  Merging the journals by
+    ``(time, true seq)`` reproduces the single engine's execution
+    order; numbering each event's claims in merge order reproduces its
+    claim order.  A claimed entry can only execute *after* the event
+    that claimed it ran (same worker, journal order), so provisional
+    heads always resolve through already-filled map slots.
+    """
+    nworkers = len(exec_logs)
+    maps: list[list[int]] = [[0] * c for c in claim_counts]
+    filled = [0] * nworkers
+    idx = [0] * nworkers
+    next_g = g_base
+
+    def head_key(w: int) -> Optional[tuple[float, int]]:
+        i = idx[w]
+        log = exec_logs[w]
+        if i >= len(log):
+            return None
+        t, s, _n = log[i]
+        if s > g_base:
+            j = s - g_base - 1
+            if j >= filled[w]:
+                raise SimulationError(
+                    f"window replay: worker {w} executed claim {j} before "
+                    "its claiming event was merged"
+                )
+            s = maps[w][j]
+        return (t, s)
+
+    while True:
+        best: Optional[tuple[float, int]] = None
+        best_w = -1
+        for w in range(nworkers):
+            key = head_key(w)
+            if key is not None and (best is None or key < best):
+                best = key
+                best_w = w
+        if best_w < 0:
+            break
+        _t, _s, nclaims = exec_logs[best_w][idx[best_w]]
+        idx[best_w] += 1
+        fill = filled[best_w]
+        worker_map = maps[best_w]
+        for _ in range(nclaims):
+            next_g += 1
+            worker_map[fill] = next_g
+            fill += 1
+        filled[best_w] = fill
+    for w in range(nworkers):
+        if filled[w] != claim_counts[w]:
+            raise SimulationError(
+                f"window replay: worker {w} registered {claim_counts[w]} "
+                f"claims but its journal accounts for {filled[w]}"
+            )
+    return maps, next_g
+
+
+def run_multiprocess(
+    cluster: Any,
+    until: Optional[float] = None,
+    max_events: Optional[int] = None,
+) -> Any:
+    """Fork W workers off the wired cluster and drive them to completion."""
+    from repro.runtime.cluster import RunResult
+
+    _validate_envelope(cluster, until, max_events)
+    if not cluster._started:
+        cluster.start()
+    sim = cluster.sim
+    partitions = cluster.partitions
+    nworkers = cluster.partition_workers
+    owned: list[list[int]] = [[] for _ in range(nworkers)]
+    for pid in range(partitions):
+        owned[worker_of_partition(pid, partitions, nworkers)].append(pid)
+    owned_ranks: list[list[int]] = [[] for _ in range(nworkers)]
+    for rank in range(cluster.nprocs):
+        pid = partition_of_rank(rank, cluster.nprocs, partitions)
+        owned_ranks[worker_of_partition(pid, partitions, nworkers)].append(rank)
+    host_worker = {
+        host: worker_of_partition(pid, partitions, nworkers)
+        for host, pid in sim._host_pid.items()
+    }
+    probes = cluster.probes
+    baseline = {
+        f.name: getattr(probes, f.name)
+        for f in dataclass_fields(probes)
+        if f.name not in ("per_rank", "recoveries", "rpc_channels")
+    }
+
+    ctx = multiprocessing.get_context("fork")
+    conns = []
+    procs = []
+
+    def recv(w: int) -> tuple:
+        try:
+            msg = conns[w].recv()
+        except (EOFError, ConnectionResetError, OSError):
+            procs[w].join(timeout=5.0)
+            pids = owned[w]
+            raise SimulationError(
+                f"hostexec worker {w} (partitions {pids[0]}..{pids[-1]}) "
+                f"died mid-run (exit code {procs[w].exitcode}); its "
+                "scenario cannot be completed"
+            ) from None
+        if msg[0] == "error":
+            raise SimulationError(
+                f"hostexec worker {msg[1]} failed:\n{msg[2]}"
+            )
+        return msg
+
+    try:
+        for w in range(nworkers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=worker_main,
+                args=(
+                    w,
+                    child_conn,
+                    cluster,
+                    tuple(owned[w]),
+                    owned_ranks[w],
+                    host_worker,
+                ),
+                name=f"hostexec-{w}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+
+        next_times: list[Optional[float]] = [None] * nworkers
+        seq0: Optional[int] = None
+        for w in range(nworkers):
+            tag, worker_seq, next_t = recv(w)
+            if tag != "ready":
+                raise SimulationError(f"expected ready from worker {w}, got {tag!r}")
+            if seq0 is None:
+                seq0 = worker_seq
+            elif worker_seq != seq0:
+                raise SimulationError(
+                    f"fork images diverged: worker {w} starts at seq "
+                    f"{worker_seq}, worker 0 at {seq0}"
+                )
+            next_times[w] = next_t
+
+        g_ceiling = seq0 if seq0 is not None else 0
+        lookahead = sim.lookahead_s
+        exec_logs: list[list[tuple[float, int, int]]] = [[] for _ in range(nworkers)]
+        claim_counts = [0] * nworkers
+        outgoings: list[list[tuple]] = [[] for _ in range(nworkers)]
+        windows = 0
+        while True:
+            mappings, g_next = _replay(exec_logs, claim_counts, g_ceiling)
+            incoming: list[list[tuple]] = [[] for _ in range(nworkers)]
+            rx_candidates: list[float] = []
+            for w in range(nworkers):
+                worker_map = mappings[w]
+                for (dst_w, pseq, dst_host, erx, dur, nb, chunk, blob) in outgoings[w]:
+                    rx_candidates.append(erx)
+                    if blob is None:
+                        continue  # stays live on its source worker
+                    gseq = pseq if pseq <= g_ceiling else worker_map[pseq - g_ceiling - 1]
+                    incoming[dst_w].append((gseq, dst_host, erx, dur, nb, chunk, blob))
+            g_ceiling = g_next
+            candidates = [t for t in next_times if t is not None]
+            candidates.extend(rx_candidates)
+            if not candidates:
+                break
+            wstart = min(candidates)
+            wend = wstart + lookahead
+            windows += 1
+            for w in range(nworkers):
+                conns[w].send(
+                    ("step", mappings[w], g_ceiling, wstart, wend, incoming[w])
+                )
+            executed = 0
+            for w in range(nworkers):
+                msg = recv(w)
+                if msg[0] != "done":
+                    raise SimulationError(
+                        f"expected done from worker {w}, got {msg[0]!r}"
+                    )
+                (
+                    _tag,
+                    next_times[w],
+                    exec_logs[w],
+                    claim_counts[w],
+                    outgoings[w],
+                    worker_events,
+                ) = msg
+                executed += worker_events
+            if max_events is not None and executed > max_events:
+                # the in-process engines stop on the exact excess event;
+                # the worker backend can only police the runaway guard at
+                # barriers, which is all the budget is used for
+                raise SimulationError(f"exceeded max_events={max_events}")
+
+        payloads = []
+        for w in range(nworkers):
+            conns[w].send(("finish",))
+        for w in range(nworkers):
+            msg = recv(w)
+            if msg[0] != "result":
+                raise SimulationError(
+                    f"expected result from worker {w}, got {msg[0]!r}"
+                )
+            payloads.append(msg[1])
+    finally:
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)
+
+    # ---------------------------------------------------------------- #
+    # collation: fold each worker's owned slice into the parent image
+
+    blocked: list[str] = []
+    total_events = 0
+    cross_messages = 0
+    for w, payload in enumerate(payloads):
+        if payload["recoveries"] or payload["rpc_channels"]:
+            raise SimulationError(
+                f"worker {w} recorded recovery/rpc activity outside the "
+                "partition_workers envelope"
+            )
+        for rank, image in payload["per_rank"].items():
+            probes.per_rank[rank] = ProcessProbes(**image)
+        cluster.results.update(payload["results"])
+        cluster.finished_ranks.update(payload["finished_ranks"])
+        cluster._exit_times.update(payload["exit_times"])
+        blocked.extend(payload["blocked"])
+        total_events += payload["events"]
+        cross_messages += payload["cross_messages"]
+    for name, base in baseline.items():
+        merged = base + sum(p["cluster_scalars"][name] - base for p in payloads)
+        setattr(probes, name, merged)
+    sim.windows = windows
+    sim.cross_messages = cross_messages
+
+    if blocked:
+        raise DeadlockError(sorted(blocked))
+    if cluster.finished:
+        sim_time = max(cluster._exit_times.values()) if cluster._exit_times else 0.0
+        cluster.completion_time = sim_time
+        sim.now = sim_time
+    else:
+        raise SimulationError(
+            "hostexec run drained every window without finishing or "
+            "deadlocking — worker ownership is inconsistent"
+        )
+    return RunResult(
+        stack=cluster.spec.name,
+        nprocs=cluster.nprocs,
+        finished=cluster.finished,
+        sim_time=sim_time,
+        probes=probes,
+        results=dict(cluster.results),
+        events_executed=total_events,
+        cluster=cluster,
+    )

@@ -1,0 +1,201 @@
+"""Worker-side engine facade for the multiprocess partition backend.
+
+:class:`WorkerSimulator` extends the in-process
+:class:`~repro.simulator.partition.PartitionedSimulator` with the three
+pieces a shared-nothing worker needs:
+
+* **Claim registry** — while a worker drains a window, every sequence
+  number it claims is *provisional* (``claim_base + j``); the claiming
+  entry registers itself in ``_claim_log`` (engine ``_put``,
+  ``SerialDrain.enqueue``, the fastpath inline enqueue, and the
+  network's deferred-crossing records all share the ``[time, seq, ...]``
+  list layout with the seq at index 1).  At the barrier the driver
+  replays the merged per-worker event journals and hands back the true
+  global number for each claim; :meth:`renumber` rewrites the registered
+  cells in place.  The rewrite is order-preserving (the driver assigns
+  strictly increasing numbers in local claim order), so seq-sorted
+  buckets and drain deques stay valid without re-sorting.
+* **Scoped scanning** — ``_scan_pids`` narrows the window drain to the
+  worker's owned partition block; non-owned partitions keep their
+  (identical, fork-inherited) wiring events parked forever.
+* **Armed-drain renumbering** — :class:`~repro.simulator.engine.
+  SerialDrain` timers ride the heap at their head entry's claimed slot;
+  every drain registers here at construction (:meth:`adopt_drain`) so
+  the barrier can re-stamp armed timers after their heads renumber.
+
+The facade is installed at cluster wiring time (before the fork) so all
+drains register and all replicas share one memory image; it stays
+completely inert — bit-identical to ``PartitionedSimulator`` — until
+:meth:`activate_worker` runs in the forked child.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.simulator.engine import SerialDrain, SimulationError
+from repro.simulator.partition import PartitionedSimulator
+
+__all__ = ["WorkerSimulator"]
+
+
+class WorkerSimulator(PartitionedSimulator):
+    """Partitioned facade plus the hostexec worker seams."""
+
+    __slots__ = ("_drains", "_claim_base", "_worker_active")
+
+    def __init__(
+        self,
+        partitions: int,
+        lookahead_s: float,
+        trace: Optional[Callable[[float, str], None]] = None,
+        coalesce: bool = True,
+    ) -> None:
+        super().__init__(partitions, lookahead_s, trace=trace, coalesce=coalesce)
+        #: every SerialDrain built over this engine (wiring happens in
+        #: the parent, so the fork hands each worker the full list)
+        self._drains: list[SerialDrain] = []
+        #: global seq ceiling at the current window's start: claims made
+        #: during the window are provisional offsets past this base
+        self._claim_base = 0
+        self._worker_active = False
+
+    # ------------------------------------------------------------------ #
+    # wiring-time hooks (parent process, before the fork)
+
+    def adopt_drain(self, drain: SerialDrain) -> None:
+        self._drains.append(drain)
+
+    # ------------------------------------------------------------------ #
+    # worker activation (forked child)
+
+    def activate_worker(self, owned: Iterable[int]) -> None:
+        """Restrict draining to ``owned`` partitions and start journaling.
+
+        Called once, right after the fork.  From here on every claimed
+        seq is provisional until the next :meth:`renumber`.
+        """
+        pids = tuple(sorted(owned))
+        if not pids:
+            raise SimulationError("worker owns no partitions")
+        for pid in pids:
+            if not 0 <= pid < self._nparts:
+                raise SimulationError(f"owned partition {pid} out of range")
+        self._scan_pids = pids
+        self._claim_log = []
+        self._exec_log = []
+        self._claim_base = self._seq
+        self._worker_active = True
+        self._running = True
+
+    @property
+    def worker_active(self) -> bool:
+        return self._worker_active
+
+    @property
+    def claim_count(self) -> int:
+        """Claims made since the last barrier (provisional seqs)."""
+        log = self._claim_log
+        return 0 if log is None else len(log)
+
+    def take_exec_log(self) -> list[tuple[float, int, int]]:
+        """Detach and return this window's (time, seq, nclaims) journal."""
+        log = self._exec_log
+        if log is None:
+            raise SimulationError("exec journal on an inactive worker")
+        self._exec_log = []
+        return log
+
+    # ------------------------------------------------------------------ #
+    # window execution
+
+    def drain_worker_window(self, start: float, end: float) -> Optional[float]:
+        """Drain owned partitions through ``[start, end)``.
+
+        Returns the next pending local timestamp (``>= end``) or None
+        when this worker's queues are empty.  Window bounds come from
+        the driver, which holds the global minimum — a window that
+        contains none of this worker's timestamps simply drains nothing.
+        """
+        self._window_end = end
+        t = self._min_pending()
+        if t is None:
+            return None
+        if self._lookahead == 0.0:
+            # degenerate window (zero lookahead): exactly the start
+            # timestamp drains, matching the in-process loop
+            if t == start:
+                self._drain_timestamp(t, None, 0)
+        elif t < end:
+            self._drain_window(t, end, None, None, 0)
+        return self._min_pending()
+
+    # ------------------------------------------------------------------ #
+    # barrier renumbering
+
+    def renumber(self, mapping: Sequence[int], g_next: int) -> None:
+        """Rewrite this window's provisional claims to their global slots.
+
+        ``mapping[j]`` is the true global seq of the worker's (j+1)-th
+        claim this window; ``g_next`` is the global ceiling after the
+        window (every worker's next window starts claiming past it).
+        """
+        log = self._claim_log
+        if log is None:
+            raise SimulationError("renumber on an inactive worker")
+        if len(log) != len(mapping):
+            raise SimulationError(
+                f"claim-journal mismatch: {len(log)} registered claims, "
+                f"{len(mapping)} renumber slots"
+            )
+        base = self._claim_base
+        for cell in log:
+            cell[1] = mapping[cell[1] - base - 1]
+        log.clear()
+        # armed SerialDrain timers ride the heap at their head entry's
+        # claimed slot; re-stamp them from their (just renumbered) heads
+        for drain in self._drains:
+            if drain.armed and drain.pending:
+                drain._entry[1] = drain.pending[0][1]
+        self._seq = g_next
+        self._claim_base = g_next
+
+    # ------------------------------------------------------------------ #
+    # envelope guards: seams whose claims could not be renumbered
+
+    def claim_seq(self) -> int:
+        if self._worker_active:
+            raise SimulationError(
+                "claim_seq inside a hostexec worker window is unsupported"
+            )
+        return super().claim_seq()
+
+    def post_at_seq(
+        self, time: float, seq: int, fn: Callable[..., None], *args: Any
+    ) -> None:
+        if self._worker_active:
+            # only reachable through SerialDrain's ready-time-regression
+            # path (a serial resource reset mid-run, i.e. a restart) —
+            # outside the supported partition_workers envelope
+            raise SimulationError(
+                "serial-resource reset inside a hostexec worker window — "
+                "outside the partition_workers envelope"
+            )
+        super().post_at_seq(time, seq, fn, *args)
+
+    def exchange_post(
+        self,
+        dst_host: str,
+        time: float,
+        fn: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> None:
+        if self._worker_active:
+            # cross-host traffic must flow through Network.transfer,
+            # where the exchange seam intercepts it; reaching this means
+            # a layer bypassed the network
+            raise SimulationError(
+                "exchange_post inside a hostexec worker; cross-host "
+                "deliveries must go through Network.transfer"
+            )
+        super().exchange_post(dst_host, time, fn, args)

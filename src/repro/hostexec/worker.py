@@ -1,0 +1,241 @@
+"""Worker-side loop of the shared-nothing multiprocess backend.
+
+A worker is a fork of the fully-wired parent cluster.  It owns a
+contiguous block of partitions: only their event stores drain, only
+their ranks execute, and every replica object outside the block stays
+frozen at its wiring-time image.  The loop speaks a four-message
+protocol with the driver over one pipe:
+
+``("ready", seq0, next_time)``
+    sent once after activation: the fork-time global seq ceiling (the
+    driver asserts all workers agree) and the first pending timestamp.
+``("step", mapping, g_next, wstart, wend, incoming)``
+    one window: renumber last window's provisional claims, apply the
+    routed crossing records (destination-side stats, RX reservation,
+    store insertion — in global seq order), drain ``[wstart, wend)``,
+    then reply ``("done", next_time, exec_log, nclaims, outgoing)``.
+``("finish",)``
+    reply ``("result", payload)`` with owned results, exit times,
+    probe images, event counts, and blocked-actor reasons.
+
+Any exception escapes as ``("error", index, traceback)`` so the driver
+can surface it instead of deadlocking the barrier.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import asdict, fields
+from typing import Any, Mapping, Optional
+
+from repro.hostexec.codec import HostCodec
+from repro.simulator.engine import SimulationError
+
+__all__ = ["worker_main"]
+
+# crossing-record field offsets (see Network._transfer_deferred)
+_RX, _SEQ, _DST, _DUR, _NBYTES, _CHUNK, _FN, _ARGS = range(8)
+
+
+def _apply_record(
+    cluster: Any,
+    gseq: int,
+    dst_host: str,
+    earliest_rx: float,
+    duration: float,
+    nbytes: int,
+    chunk: bool,
+    deliver: Any,
+    args: tuple[Any, ...],
+) -> None:
+    """Replay one crossing record's destination side.
+
+    Mirrors the tail of :meth:`Network.transfer` exactly: RX stats, the
+    serial RX reservation, then either the NIC's coalescing drain or a
+    direct seq-sorted store insert — with the record's already-global
+    seq instead of a fresh claim.  Records are applied in global seq
+    order across the whole run, so per-NIC ``reserve_rx`` calls happen
+    in the same order the single engine makes them and every ``rx_end``
+    is bit-identical.
+    """
+    sim = cluster.sim
+    dst_nic = cluster.network.nics[dst_host]
+    stats = dst_nic.stats
+    stats.messages_received += 1
+    stats.bytes_received += nbytes
+    if chunk:
+        stats.chunks_received += 1
+    else:
+        stats.logical_messages_received += 1
+    _rx_start, rx_end = dst_nic.reserve_rx(earliest_rx, duration)
+    entry = [rx_end, gseq, deliver, args]
+    pid = sim._host_pid.get(dst_host, 0)
+    drain = dst_nic.rx_drain
+    if drain is None:
+        sim._insert_entry(pid, rx_end, entry)
+        return
+    pending = drain.pending
+    if pending:
+        if rx_end >= pending[-1][0]:
+            pending.append(entry)
+        else:
+            # ready-time regression (defensive: cannot happen while RX
+            # reservations are serial and applied in global order)
+            sim._insert_entry(pid, rx_end, entry)
+        return
+    pending.append(entry)
+    if not drain.armed:
+        drain.armed = True
+        sim.enter_partition(pid)
+        drain._arm(rx_end, gseq)
+
+
+def _collect_outgoing(
+    cluster: Any,
+    codec: HostCodec,
+    host_worker: Mapping[str, int],
+    worker_index: int,
+    own_records: list[list],
+) -> list[tuple]:
+    """Ship this window's crossing buffer.
+
+    Records destined to a host this worker owns stay behind as live
+    objects in ``own_records`` (their seq cells renumber in place via
+    the claim registry); everything else is encoded now — in creation
+    order, which the ElAck journal codec relies on — and travels as
+    ``(dst_worker, pseq, dst_host, earliest_rx, duration, nbytes,
+    chunk, blob)`` with ``blob=None`` marking a stay-behind record.
+    """
+    network = cluster.network
+    records = network.exchange
+    network.exchange = []
+    cluster.sim.cross_messages += len(records)
+    out: list[tuple] = []
+    for rec in records:
+        dst_host = rec[_DST]
+        dst_worker = host_worker.get(dst_host, 0)
+        if dst_worker == worker_index:
+            own_records.append(rec)
+            blob = None
+        else:
+            blob = codec.encode(dst_worker, rec[_FN], rec[_ARGS])
+        out.append(
+            (
+                dst_worker,
+                rec[_SEQ],
+                dst_host,
+                rec[_RX],
+                rec[_DUR],
+                rec[_NBYTES],
+                rec[_CHUNK],
+                blob,
+            )
+        )
+    return out
+
+
+def _result_payload(cluster: Any, owned_ranks: list[int]) -> dict[str, Any]:
+    probes = cluster.probes
+    scalars = {
+        f.name: getattr(probes, f.name)
+        for f in fields(probes)
+        if f.name not in ("per_rank", "recoveries", "rpc_channels")
+    }
+    return {
+        "results": {r: cluster.results[r] for r in owned_ranks if r in cluster.results},
+        "exit_times": dict(cluster._exit_times),
+        "finished_ranks": sorted(cluster.finished_ranks),
+        "events": cluster.sim.events_executed,
+        "blocked": sorted(str(r) for r in cluster.sim.blocked_actors.values()),
+        "per_rank": {
+            r: asdict(probes.per_rank[r]) for r in owned_ranks if r in probes.per_rank
+        },
+        "cluster_scalars": scalars,
+        "recoveries": len(probes.recoveries),
+        "rpc_channels": len(probes.rpc_channels),
+        "windows": cluster.sim.windows,
+        "cross_messages": cluster.sim.cross_messages,
+    }
+
+
+def worker_main(
+    worker_index: int,
+    conn: Any,
+    cluster: Any,
+    owned_pids: tuple[int, ...],
+    owned_ranks: list[int],
+    host_worker: Mapping[str, int],
+) -> None:
+    """Run one forked worker until the driver says finish.
+
+    ``conn`` is the child end of the driver's pipe; everything else is
+    inherited through the fork (no pickling of cluster state).
+    """
+    try:
+        sim = cluster.sim
+        sim.activate_worker(owned_pids)
+        cluster.network.exchange = []
+        codec = HostCodec.for_cluster(cluster)
+        own_records: list[list] = []
+        conn.send(("ready", sim._seq, sim._min_pending()))
+        while True:
+            msg = conn.recv()
+            tag = msg[0]
+            if tag == "step":
+                _tag, mapping, g_next, wstart, wend, incoming = msg
+                sim.renumber(mapping, g_next)
+                # decode strictly in shipped order (per-source creation
+                # order — the ElAck journal tails splice contiguously),
+                # then merge with the stay-behind records and apply in
+                # global seq order
+                batch: list[tuple] = [
+                    (gseq, dst_host, earliest_rx, duration, nbytes, chunk)
+                    + codec.decode(blob)
+                    for gseq, dst_host, earliest_rx, duration, nbytes, chunk, blob in incoming
+                ]
+                for rec in own_records:
+                    batch.append(
+                        (
+                            rec[_SEQ],
+                            rec[_DST],
+                            rec[_RX],
+                            rec[_DUR],
+                            rec[_NBYTES],
+                            rec[_CHUNK],
+                            rec[_FN],
+                            rec[_ARGS],
+                        )
+                    )
+                own_records.clear()
+                batch.sort(key=lambda item: item[0])
+                for item in batch:
+                    _apply_record(cluster, *item)
+                next_time = sim.drain_worker_window(wstart, wend)
+                sim.windows += 1
+                nclaims = sim.claim_count
+                exec_log = sim.take_exec_log()
+                outgoing = _collect_outgoing(
+                    cluster, codec, host_worker, worker_index, own_records
+                )
+                conn.send(
+                    (
+                        "done",
+                        next_time,
+                        exec_log,
+                        nclaims,
+                        outgoing,
+                        sim.events_executed,
+                    )
+                )
+            elif tag == "finish":
+                conn.send(("result", _result_payload(cluster, owned_ranks)))
+                return
+            else:
+                raise SimulationError(f"unknown driver message {tag!r}")
+    except BaseException:
+        try:
+            conn.send(("error", worker_index, traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()

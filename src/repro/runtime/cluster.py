@@ -100,11 +100,31 @@ class Cluster:
         # cross-partition link latency (see repro.simulator.partition);
         # more partitions than ranks would leave empty blocks
         self.partitions = min(self.config.partition_ranks, nprocs)
-        self.sim = make_simulator(
-            coalesce=self.config.engine_coalesce,
-            partitions=self.partitions,
-            lookahead_s=derive_lookahead(self.config) if self.partitions else 0.0,
+        # multiprocess backend: W shared-nothing workers, each owning a
+        # contiguous block of the partitions (capped — more workers than
+        # partitions would idle); 0 keeps the in-process window loop
+        self.partition_workers = (
+            min(self.config.partition_workers, self.partitions)
+            if self.partitions
+            else 0
         )
+        if self.partition_workers:
+            # the worker facade must be in place at wiring time so every
+            # SerialDrain built below registers with it (the cluster is
+            # wired once in the parent, then forked per worker)
+            from repro.hostexec.sim import WorkerSimulator
+
+            self.sim: Simulator = WorkerSimulator(
+                self.partitions,
+                derive_lookahead(self.config),
+                coalesce=self.config.engine_coalesce,
+            )
+        else:
+            self.sim = make_simulator(
+                coalesce=self.config.engine_coalesce,
+                partitions=self.partitions,
+                lookahead_s=derive_lookahead(self.config) if self.partitions else 0.0,
+            )
         self.network = Network(
             self.sim,
             bandwidth_bps=self.config.bandwidth_bps,
@@ -211,6 +231,9 @@ class Cluster:
         self.finished_ranks: set[int] = set()
         self.results: dict[int, Any] = {}
         self.completion_time: Optional[float] = None
+        #: per-rank app exit times; the hostexec driver takes the max
+        #: across workers to reconstruct the global completion time
+        self._exit_times: dict[int, float] = {}
         self._started = False
 
     # ------------------------------------------------------------------ #
@@ -275,6 +298,7 @@ class Cluster:
     def _on_app_exit(self, rank: int, result: Any) -> None:
         self.results[rank] = result
         self.finished_ranks.add(rank)
+        self._exit_times[rank] = self.sim.now
         if self.finished and self.completion_time is None:
             self.completion_time = self.sim.now
 
@@ -347,6 +371,12 @@ class Cluster:
         max_events: Optional[int] = None,
     ) -> RunResult:
         """Start (if needed) and run to completion (or ``until``)."""
+        if self.partition_workers:
+            # shared-nothing multiprocess backend: fork one worker per
+            # partition block and drive the window barriers over pipes
+            from repro.hostexec.driver import run_multiprocess
+
+            return run_multiprocess(self, until=until, max_events=max_events)
         if not self._started:
             self.start()
         self.sim.run(until=until, max_events=max_events)

@@ -131,6 +131,22 @@ class ClusterConfig:
     partition_ranks: int = 0
 
     # ---------------------------------------------------------------- #
+    # Multiprocess partition execution (repro.hostexec).
+    # ``partition_workers = W > 0`` forks W shared-nothing worker
+    # processes (capped at the partition count), each advancing a
+    # contiguous block of the ``partition_ranks`` partitions through the
+    # same conservative windows; cross-partition messages travel over
+    # pipes at window barriers through a deterministic codec, and a
+    # driver-side replay of each window's event journal reassigns the
+    # global sequence numbers, so results, probes and checksums stay
+    # bit-identical to both ``partition_workers=0`` (the in-process
+    # window loop, kept verbatim) and the single engine.  Requires
+    # ``partition_ranks > 0``; the supported envelope (no fault plans,
+    # no checkpoints, full-duplex NICs, ``el_count <= 1``) is validated
+    # at run start.  0 (default) never forks.
+    partition_workers: int = 0
+
+    # ---------------------------------------------------------------- #
     # Per-message delivery dispatch.  True (default) compiles, at cluster
     # wiring time, per-(protocol, channel) fused delivery closures: the
     # send pipeline (piggyback build -> cost charge -> wire) and the
@@ -243,6 +259,15 @@ class ClusterConfig:
         if self.partition_ranks < 0:
             raise ValueError(
                 f"partition_ranks must be >= 0, got {self.partition_ranks!r}"
+            )
+        if self.partition_workers < 0:
+            raise ValueError(
+                f"partition_workers must be >= 0, got {self.partition_workers!r}"
+            )
+        if self.partition_workers > 0 and self.partition_ranks == 0:
+            raise ValueError(
+                "partition_workers requires partition_ranks > 0 "
+                f"(got partition_workers={self.partition_workers!r})"
             )
         if self.rpc_timeout_s < 0:
             raise ValueError(f"rpc_timeout_s must be >= 0, got {self.rpc_timeout_s!r}")

@@ -127,7 +127,11 @@ def _compile_recv_path(
             # next engine seq and join the armed queue's tail
             if drain_pending and ready >= drain_pending[-1][0]:
                 sim._seq = seq = sim._seq + 1
-                drain_pending.append((ready, seq, hand, (msg, det)))
+                entry = [ready, seq, hand, (msg, det)]
+                claim_log = sim._claim_log
+                if claim_log is not None:
+                    claim_log.append(entry)
+                drain_pending.append(entry)
             else:
                 drain_enqueue(ready, hand, msg, det)
         else:

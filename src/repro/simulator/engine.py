@@ -146,6 +146,7 @@ class Simulator:
         "_extra_events",
         "_blocked_actors",
         "_running",
+        "_claim_log",
     )
 
     def __init__(self, trace: Optional[Callable[[float, str], None]] = None) -> None:
@@ -167,6 +168,12 @@ class Simulator:
         # diagnosed; see DeadlockError.
         self._blocked_actors: dict[Any, str] = {}
         self._running = False
+        # Sequence-claim registry for the multiprocess partition backend
+        # (repro.hostexec): when a worker activates it, every seq claimed
+        # during a window registers the claiming entry here so the barrier
+        # can rewrite provisional sequence numbers to their global slots.
+        # None (the default) costs the claim sites a single is-None check.
+        self._claim_log: Optional[list[list[Any]]] = None
 
     # ------------------------------------------------------------------ #
     # scheduling
@@ -353,6 +360,14 @@ class Simulator:
         raise SimulationError(
             "exchange_post on a non-partitioned engine"
         )  # pragma: no cover - guarded by the `partitioned` flag
+
+    def adopt_drain(self, drain: "SerialDrain") -> None:
+        """Registration hook for :class:`SerialDrain` construction.
+
+        The base engines need no bookkeeping; the multiprocess worker
+        facade (:mod:`repro.hostexec`) overrides this to track every
+        drain so armed timers can be renumbered at window barriers.
+        """
 
     # ------------------------------------------------------------------ #
     # deadlock bookkeeping
@@ -769,11 +784,14 @@ class SerialDrain:
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
-        self.pending: deque[tuple[float, int, Callable[..., None], tuple[Any, ...]]] = deque()
+        # entries share the engine's [time, seq, fn, args] list layout so
+        # the hostexec claim registry can renumber them in place
+        self.pending: deque[list[Any]] = deque()
         self.armed = False
         # reusable timer entry: the timer is re-armed only after it fired
         # (its entry left the queue), so one list serves every arming
         self._entry = [0.0, 0, self._drain, ()]
+        sim.adopt_drain(self)
 
     def _arm(self, when: float, seq: int) -> None:
         """Specialized put of the (reused) timer entry at ``(when, seq)``.
@@ -807,18 +825,22 @@ class SerialDrain:
         """Queue ``fn(*args)`` for ``when`` (serial completion order)."""
         sim = self.sim
         sim._seq = seq = sim._seq + 1
+        entry = [when, seq, fn, args]
+        log = sim._claim_log
+        if log is not None:
+            log.append(entry)
         pending = self.pending
         if pending:
             # the timer is armed at the current head; just join the queue
             if when >= pending[-1][0]:
-                pending.append((when, seq, fn, args))
+                pending.append(entry)
                 return
             # ready time regressed (a resource reset mid-simulation, e.g.
             # a daemon restarting over a stale pipeline): schedule this
             # entry individually — order-exact either way
             sim.post_at_seq(when, seq, fn, *args)
             return
-        pending.append((when, seq, fn, args))
+        pending.append(entry)
         if not self.armed:
             self.armed = True
             self._arm(when, seq)

@@ -117,6 +117,8 @@ class PartitionedSimulator(Simulator):
         "_exchange",
         "_window_end",
         "_live_pids",
+        "_scan_pids",
+        "_exec_log",
         "windows",
         "cross_messages",
     )
@@ -144,6 +146,7 @@ class PartitionedSimulator(Simulator):
         self._extra_events = 0
         self._blocked_actors = {}
         self._running = False
+        self._claim_log = None
         self.coalesced = bool(coalesce)
         self._nparts = partitions
         self._lookahead = float(lookahead_s)
@@ -161,6 +164,12 @@ class PartitionedSimulator(Simulator):
         self._window_end = 0.0
         #: source partition of each now-queue entry (parallel to _live)
         self._live_pids: list[int] = []
+        #: partitions this engine instance drains — all of them in
+        #: process; a hostexec worker narrows it to its owned block
+        self._scan_pids: "range | tuple[int, ...]" = range(partitions)
+        #: per-executed-event (time, seq, nclaims) journal for the
+        #: hostexec barrier replay; None keeps the hook disabled
+        self._exec_log: Optional[list[tuple[float, int, int]]] = None
         #: conservative windows completed (barrier flushes)
         self.windows = 0
         #: cross-partition messages merged at window barriers
@@ -227,6 +236,11 @@ class PartitionedSimulator(Simulator):
     # scheduling: same contract as Simulator, routed per partition
 
     def _put(self, time: float, entry: list) -> None:
+        log = self._claim_log
+        if log is not None:
+            # every fresh claim (schedule/at/post/schedule_bulk) funnels
+            # through here; pre-claimed seqs (post_at_seq) do not
+            log.append(entry)
         if time == self._live_time:
             self._live.append(entry)
             self._live_pids.append(self._cur)
@@ -360,7 +374,7 @@ class PartitionedSimulator(Simulator):
 
     def _min_pending(self) -> Optional[float]:
         best: Optional[float] = None
-        for pid in range(self._nparts):
+        for pid in self._scan_pids:
             t = self._peek_partition(pid)
             if t is not None and (best is None or t < best):
                 best = t
@@ -377,7 +391,7 @@ class PartitionedSimulator(Simulator):
         first tuple element.
         """
         merged: list[tuple[int, list, int]] = []
-        for pid in range(self._nparts):
+        for pid in self._scan_pids:
             buckets = self._pbuckets[pid]
             b = buckets.get(t)
             if b is None:
@@ -420,6 +434,7 @@ class PartitionedSimulator(Simulator):
         trace = self._trace
         live = self._live
         live_pids = self._live_pids
+        exec_log = self._exec_log
         self._live_time = t
         i = j = 0
         try:
@@ -452,7 +467,21 @@ class PartitionedSimulator(Simulator):
                 self._cur = pid
                 if trace is not None:
                     trace(t, getattr(fn, "__qualname__", repr(fn)))
-                fn(*entry[_ARGS])
+                if exec_log is None:
+                    fn(*entry[_ARGS])
+                else:
+                    # journal (time, seq, claims-made) per executed event
+                    # so the hostexec driver can replay the global merge.
+                    # The seq must be read *before* the callback runs: a
+                    # SerialDrain timer reuses one mutable entry and
+                    # re-arms it with the next head's seq mid-callback,
+                    # and the merge key is the seq the event fired with.
+                    seq = entry[_SEQ]
+                    claims = self._claim_log
+                    base = 0 if claims is None else len(claims)
+                    fn(*entry[_ARGS])
+                    nclaims = 0 if claims is None else len(claims) - base
+                    exec_log.append((t, seq, nclaims))
         except BaseException:
             # a callback raised (or max_events tripped): park the
             # unexecuted tail back into its source partitions so a
@@ -500,6 +529,41 @@ class PartitionedSimulator(Simulator):
             return True
         return False
 
+    def _drain_window(
+        self,
+        t: float,
+        window_end: float,
+        until: Optional[float],
+        max_events: Optional[int],
+        executed: int,
+    ) -> tuple[int, bool]:
+        """Drain every pending timestamp in ``[t, window_end)``.
+
+        Shared by the in-process window loop and the hostexec worker
+        loop (which receives its window bounds from the driver).
+        Returns ``(executed, stopped)``; ``stopped`` means the ``until``
+        deadline was hit mid-window and the run must return.
+        """
+        if self._lookahead == 0.0:
+            # degenerate window: one timestamp, then a barrier
+            return self._drain_timestamp(t, max_events, executed), False
+        # a timestamp at exactly window_end starts the *next* window: a
+        # crossing may land exactly there, and it must be merged (its
+        # seq was claimed mid-window) before that timestamp drains
+        next_t: Optional[float] = t
+        while next_t is not None and next_t < window_end:
+            if until is not None and next_t > until:
+                self.now = until
+                return executed, True
+            executed = self._drain_timestamp(next_t, max_events, executed)
+            next_t = self._min_pending()
+        return executed, False
+
+    def _window_barrier(self) -> None:
+        """In-process barrier: count the window, merge buffered crossings."""
+        self.windows += 1
+        self._flush_exchange()
+
     def run(
         self,
         until: Optional[float] = None,
@@ -525,24 +589,12 @@ class PartitionedSimulator(Simulator):
                     self.now = until
                     return
                 self._window_end = window_end = t + lookahead
-                if lookahead == 0.0:
-                    # degenerate window: one timestamp, then a barrier
-                    executed = self._drain_timestamp(t, max_events, executed)
-                else:
-                    # a timestamp at exactly window_end starts the *next*
-                    # window: a crossing may land exactly there, and it
-                    # must be merged (its seq was claimed mid-window)
-                    # before that timestamp drains
-                    while t is not None and t < window_end:
-                        if until is not None and t > until:
-                            self.now = until
-                            return
-                        executed = self._drain_timestamp(
-                            t, max_events, executed
-                        )
-                        t = self._min_pending()
-                self.windows += 1
-                self._flush_exchange()
+                executed, stopped = self._drain_window(
+                    t, window_end, until, max_events, executed
+                )
+                if stopped:
+                    return
+                self._window_barrier()
             if check_deadlock and self._blocked_actors:
                 raise DeadlockError(
                     sorted(str(r) for r in self._blocked_actors.values())

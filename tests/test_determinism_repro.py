@@ -89,6 +89,9 @@ def test_every_protocol_is_reproducible(stack):
         {"partition_ranks": 2},
         {"partition_ranks": 4},
         {"partition_ranks": 4, "engine_coalesce": False},
+        {"partition_ranks": 4, "partition_workers": 2},
+        {"partition_ranks": 4, "partition_workers": 4},
+        {"partition_ranks": 4, "partition_workers": 4, "engine_coalesce": False},
         {"el_count": 4, "el_sync_strategy": "multicast"},
         {"el_count": 4, "el_sync_strategy": "tree"},
         {"rpc_timeout_s": 0.05},

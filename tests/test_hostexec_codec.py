@@ -1,0 +1,232 @@
+"""Round-trip tests for the hostexec cross-worker wire codec.
+
+The codec's contract (``repro/hostexec/codec.py``): plain payload data
+travels by value and compares equal after a round trip; identity-bearing
+callbacks (wire sinks, daemon/shard bound methods) resolve to the
+*destination replica's* objects; ElAck journal handles ship only the
+unseen journal tail and splice it into the destination's mirror journal
+at the same absolute positions; anything unshippable raises instead of
+silently forking a replica.
+
+Two identically-wired clusters stand in for two forked workers: their
+object graphs are equal by construction (exactly the fork guarantee),
+so encoding against one and decoding against the other is the
+production situation minus the pipe.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster
+from repro.core.bounds import BoundVector
+from repro.core.event_logger import ElAck
+from repro.core.events import Determinant
+from repro.core.piggyback import Piggyback
+from repro.hostexec.codec import HostCodec
+from repro.runtime.config import ClusterConfig
+from repro.runtime.daemon import WireMessage
+from repro.simulator.engine import SimulationError
+
+
+def make_cluster(nprocs: int = 3) -> Cluster:
+    cfg = ClusterConfig(partition_ranks=2)
+    return Cluster(
+        nprocs=nprocs,
+        app_factory=lambda ctx: iter(()),
+        stack="vcausal",
+        config=cfg,
+    )
+
+
+@pytest.fixture()
+def pair():
+    """(source cluster+codec, destination cluster+codec) replica pair."""
+    a, b = make_cluster(), make_cluster()
+    return (a, HostCodec.for_cluster(a)), (b, HostCodec.for_cluster(b))
+
+
+def roundtrip(pair, deliver, args, dst_worker: int = 1):
+    (_, enc), (_, dec) = pair
+    return dec.decode(enc.encode(dst_worker, deliver, args))
+
+
+# --------------------------------------------------------------------- #
+# identity tokens
+
+
+def test_wire_sink_resolves_to_destination_replica(pair):
+    (src, _), (dst, _) = pair
+    deliver, args = roundtrip(pair, src.daemons[2].wire_sink, ())
+    assert deliver is dst.daemons[2].wire_sink
+    assert args == ()
+
+
+def test_bound_methods_resolve_on_registered_instances(pair):
+    (src, _), (dst, _) = pair
+    shard = src.event_logger.shards[0]
+    deliver, _ = roundtrip(pair, shard.receive_log, ())
+    assert deliver.__self__ is dst.event_logger.shards[0]
+    assert deliver.__func__.__name__ == "receive_log"
+    deliver, _ = roundtrip(pair, src.daemons[0]._el_ack, ())
+    assert deliver.__self__ is dst.daemons[0]
+
+
+def test_daemon_instance_in_args_resolves_to_replica(pair):
+    (src, _), (dst, _) = pair
+    _, args = roundtrip(pair, src.daemons[0].wire_sink, (src.daemons[1],))
+    assert args[0] is dst.daemons[1]
+
+
+def test_closures_and_foreign_methods_raise(pair):
+    (src, enc), _ = pair
+    x = []
+
+    def local_fn():  # a closure over x: meaningless in another process
+        x.append(1)
+
+    with pytest.raises(SimulationError, match="closure"):
+        enc.encode(1, local_fn, ())
+    with pytest.raises(SimulationError, match="unregistered"):
+        enc.encode(1, src.network.nics["n0"].reserve_rx, ())
+
+
+def test_identity_bearing_infrastructure_raises(pair):
+    (src, enc), _ = pair
+    with pytest.raises(SimulationError, match="identity-bearing"):
+        enc.encode(1, src.daemons[0].wire_sink, (src.sim,))
+    with pytest.raises(SimulationError, match="identity-bearing"):
+        enc.encode(1, src.daemons[0].wire_sink, (src.network,))
+
+
+# --------------------------------------------------------------------- #
+# plain-data round trips (property)
+
+determinants = st.builds(
+    Determinant,
+    creator=st.integers(0, 2),
+    clock=st.integers(1, 1 << 20),
+    sender=st.integers(0, 2),
+    ssn=st.integers(0, 1 << 20),
+    dep=st.integers(0, 1 << 20),
+)
+
+sparse_vectors = st.dictionaries(
+    st.integers(0, 4095), st.integers(1, 1 << 30), max_size=8
+).map(lambda d: BoundVector(d))
+
+piggybacks = st.builds(
+    Piggyback,
+    events=st.lists(determinants, max_size=6).map(tuple),
+    nbytes=st.integers(0, 1 << 16),
+    build_cost_s=st.floats(0, 1e-3, allow_nan=False),
+    runs=st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7), st.integers(0, 7)),
+        max_size=3,
+    ).map(tuple),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(pb=piggybacks, payload=st.integers() | st.text(max_size=20) | st.none())
+def test_wire_message_roundtrip(pb, payload):
+    a, b = make_cluster(), make_cluster()
+    enc, dec = HostCodec.for_cluster(a), HostCodec.for_cluster(b)
+    msg = WireMessage(
+        kind="app", src=0, dst=2, ssn=7, tag=3, nbytes=512, payload=payload, pb=pb
+    )
+    det = Determinant(2, 1, 0, 7, 0)
+    deliver, args = dec.decode(enc.encode(1, a.daemons[2].wire_sink, (msg, det)))
+    out, out_det = args
+    assert out_det == det
+    assert (out.kind, out.src, out.dst, out.ssn, out.tag, out.nbytes) == (
+        "app", 0, 2, 7, 3, 512,
+    )
+    assert out.payload == payload
+    assert out.pb.events == pb.events
+    assert out.pb.runs == pb.runs
+    assert out.pb.nbytes == pb.nbytes
+
+
+@settings(max_examples=50, deadline=None)
+@given(vec=sparse_vectors)
+def test_sparse_bound_vector_roundtrip(vec):
+    a, b = make_cluster(), make_cluster()
+    enc, dec = HostCodec.for_cluster(a), HostCodec.for_cluster(b)
+    _, args = dec.decode(enc.encode(1, a.daemons[0].wire_sink, (vec,)))
+    out = args[0]
+    assert type(out) is BoundVector
+    assert out.data == vec.data
+    # dict iteration order is part of determinism: pickle preserves it
+    assert list(out.data.items()) == list(vec.data.items())
+
+
+# --------------------------------------------------------------------- #
+# ElAck journal handles
+
+
+def ack_from(shard, upto: int) -> ElAck:
+    vec = BoundVector({i: c for i, (_cr, c) in enumerate(shard._ack_log[:upto])})
+    return ElAck(vec, shard, shard._ack_log, upto)
+
+
+def test_elack_ships_only_the_unseen_tail(pair):
+    (src, enc), (dst, dec) = pair
+    shard = src.event_logger.shards[0]
+    mirror = dst.event_logger.shards[0]._ack_log
+    shard._ack_log.extend([(0, 1), (1, 1), (0, 2)])
+
+    first = dec.decode(enc.encode(1, src.daemons[0]._el_ack, (ack_from(shard, 2),)))
+    ack1 = first[1][0]
+    assert type(ack1) is ElAck
+    assert ack1.src is dst.event_logger.shards[0]
+    assert ack1.log is mirror  # the replica's own journal is the mirror
+    assert ack1.upto == 2
+    assert mirror == [(0, 1), (1, 1)]
+
+    # second ack to the same worker: only entries past the first's upto
+    shard._ack_log.append((2, 1))
+    second = dec.decode(enc.encode(1, src.daemons[0]._el_ack, (ack_from(shard, 4),)))
+    ack2 = second[1][0]
+    assert ack2.upto == 4
+    assert mirror == shard._ack_log  # spliced to the exact absolute positions
+    assert ack2.log[ack1.upto : ack2.upto] == [(0, 2), (2, 1)]
+    # vcausal's journal-fold fast path requires a stable src identity
+    assert ack2.src is ack1.src
+
+
+def test_elack_tail_state_is_per_destination_worker(pair):
+    (src, enc), _ = pair
+    shard = src.event_logger.shards[0]
+    shard._ack_log.extend([(0, 1), (1, 1)])
+    enc.encode(1, src.daemons[0]._el_ack, (ack_from(shard, 2),))
+    # a different destination worker has seen nothing: full tail again
+    blob = enc.encode(2, src.daemons[0]._el_ack, (ack_from(shard, 2),))
+    fresh = make_cluster()
+    dec = HostCodec.for_cluster(fresh)
+    ack = dec.decode(blob)[1][0]
+    assert fresh.event_logger.shards[0]._ack_log == [(0, 1), (1, 1)]
+    assert ack.upto == 2
+
+
+def test_elack_regressed_journal_raises(pair):
+    (src, enc), _ = pair
+    shard = src.event_logger.shards[0]
+    shard._ack_log.extend([(0, 1), (1, 1)])
+    enc.encode(1, src.daemons[0]._el_ack, (ack_from(shard, 2),))
+    with pytest.raises(SimulationError, match="regressed"):
+        enc.encode(1, src.daemons[0]._el_ack, (ack_from(shard, 1),))
+
+
+def test_elack_out_of_step_mirror_raises(pair):
+    (src, enc), (dst, dec) = pair
+    shard = src.event_logger.shards[0]
+    shard._ack_log.extend([(0, 1), (1, 1)])
+    blob = enc.encode(1, src.daemons[0]._el_ack, (ack_from(shard, 2),))
+    # the destination replica's journal was written locally: the splice
+    # positions no longer line up, which must fail loudly
+    dst.event_logger.shards[0]._ack_log.append((9, 9))
+    with pytest.raises(SimulationError, match="out of step"):
+        dec.decode(blob)

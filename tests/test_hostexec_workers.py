@@ -1,0 +1,212 @@
+"""Conformance and robustness suite for the multiprocess worker backend.
+
+``partition_workers = W`` forks the wired cluster into W shared-nothing
+worker processes (``repro/hostexec``), advanced through the same
+conservative lookahead windows as the in-process partitioned facade,
+with cross-worker deliveries exchanged at window barriers.  The claim is
+the same as ``tests/test_partition_conformance.py`` one level up: **bit
+identity** — results, sim_time, event counts and every probe counter
+match ``partition_workers=0`` exactly.
+
+Beyond identity, this file pins down the two failure contracts:
+
+* knobs outside the worker envelope (fault plans, checkpoint waves,
+  multi-shard EL sync, RPC retry timers, until-slicing, half-duplex
+  NICs) are rejected loudly at ``run()`` instead of risking a silently
+  diverging run;
+* a worker killed mid-run (signal, OOM) fails the run with an error
+  naming the worker and its partitions instead of hanging the barrier —
+  and the ``--jobs`` benchmark pool does the same per scenario.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro import Cluster
+from repro.hostexec.sim import WorkerSimulator
+from repro.runtime.config import ClusterConfig
+from repro.runtime.failure import OneShotFaults
+from repro.simulator.engine import SimulationError
+
+from test_partition_conformance import (
+    LOGGING_STACKS,
+    run_image,
+    schedule_app,
+)
+
+OPS = [("ring", 16_384), ("allreduce", 64), ("bcast", 1, 512), ("compute", 0.001)]
+
+
+# --------------------------------------------------------------------- #
+# bit identity
+
+
+@pytest.mark.parametrize("stack", LOGGING_STACKS)
+def test_worker_backend_bit_identical(stack):
+    """W ∈ {1, 2, K} all reproduce the in-process image exactly."""
+    ref = run_image(stack, OPS, 2, 5, partition_ranks=4)
+    for workers in (1, 2, 4):
+        img = run_image(
+            stack, OPS, 2, 5, partition_ranks=4, partition_workers=workers
+        )
+        assert img == ref, (stack, workers)
+
+
+def test_worker_backend_matches_single_engine():
+    """The full chain: single engine == partitioned == multiprocess."""
+    single = run_image("vcausal", OPS, 2, 5, partition_ranks=0)
+    assert single["finished"]
+    workers = run_image(
+        "vcausal", OPS, 2, 5, partition_ranks=4, partition_workers=2
+    )
+    assert workers == single
+
+
+def test_worker_backend_composes_with_engine_knobs():
+    for knobs in (
+        {"engine_coalesce": False},
+        {"delivery_fastpath": False},
+        {"pb_cost_model": "sparse"},
+    ):
+        ref = run_image("vcausal", OPS, 2, 4, partition_ranks=4, **knobs)
+        img = run_image(
+            "vcausal", OPS, 2, 4, partition_ranks=4, partition_workers=4, **knobs
+        )
+        assert img == ref, knobs
+
+
+def test_worker_simulator_is_installed():
+    """partition_workers>0 swaps in the worker-aware facade (inert until
+    activated inside a forked child) and clamps W to the partition count."""
+    cfg = ClusterConfig(partition_ranks=4, partition_workers=9)
+    cluster = Cluster(
+        nprocs=4, app_factory=schedule_app(OPS, 1), stack="vcausal", config=cfg
+    )
+    assert isinstance(cluster.sim, WorkerSimulator)
+    assert cluster.partition_workers == 4
+    cfg0 = ClusterConfig(partition_ranks=4)
+    cluster0 = Cluster(
+        nprocs=4, app_factory=schedule_app(OPS, 1), stack="vcausal", config=cfg0
+    )
+    assert not isinstance(cluster0.sim, WorkerSimulator)
+
+
+# --------------------------------------------------------------------- #
+# envelope rejection
+
+
+def _cluster(stack="vcausal", nprocs=4, workers=2, **kw):
+    cfg_kw = dict(partition_ranks=4, partition_workers=workers)
+    cfg_kw.update(kw.pop("config_kw", {}))
+    return Cluster(
+        nprocs=nprocs,
+        app_factory=schedule_app(OPS, 1),
+        stack=stack,
+        config=ClusterConfig(**cfg_kw),
+        **kw,
+    )
+
+
+def test_envelope_rejects_until():
+    with pytest.raises(SimulationError, match="until-slicing"):
+        _cluster().run(until=0.5)
+
+
+def test_envelope_rejects_fault_plans():
+    with pytest.raises(SimulationError, match="fault plans"):
+        _cluster(fault_plan=OneShotFaults([(0.001, 0)])).run()
+
+
+def test_envelope_rejects_checkpoint_waves():
+    with pytest.raises(SimulationError, match="checkpoint policy"):
+        _cluster(
+            checkpoint_policy="round-robin", checkpoint_interval_s=0.02
+        ).run()
+
+
+def test_envelope_rejects_multi_shard_el():
+    with pytest.raises(SimulationError, match="el_count > 1"):
+        _cluster(config_kw={"el_count": 2}).run()
+
+
+def test_envelope_rejects_rpc_retry():
+    with pytest.raises(SimulationError, match="rpc_timeout_s"):
+        _cluster(config_kw={"rpc_timeout_s": 0.01}).run()
+
+
+def test_envelope_rejects_half_duplex():
+    with pytest.raises(SimulationError, match="half-duplex"):
+        _cluster(stack="p4").run()
+
+
+# --------------------------------------------------------------------- #
+# worker-death robustness
+
+
+def _suicide_app(victim: int, after_iterations: int):
+    """Ring app whose ``victim`` rank SIGKILLs its own worker process
+    mid-window — the simulated analogue of an OOM kill."""
+
+    def app(ctx):
+        right = (ctx.rank + 1) % ctx.size
+        left = (ctx.rank - 1) % ctx.size
+        for i in range(4):
+            yield from ctx.sendrecv(right, 1024, left, tag=1, payload=ctx.rank)
+            if i == after_iterations and ctx.rank == victim:
+                os.kill(os.getpid(), signal.SIGKILL)
+        return ctx.rank
+
+    return app
+
+
+def test_dead_worker_fails_the_run_with_a_named_error():
+    """Rank 3 lives in partition 3, owned by worker 1 of 2: killing it
+    must fail the run naming that worker — not hang the barrier."""
+    cfg = ClusterConfig(partition_ranks=4, partition_workers=2)
+    cluster = Cluster(
+        nprocs=4, app_factory=_suicide_app(3, 1), stack="vcausal", config=cfg
+    )
+    with pytest.raises(SimulationError, match=r"worker 1 \(partitions 2\.\.3\)"):
+        cluster.run()
+
+
+def test_worker_exception_carries_the_traceback():
+    """A callback raising inside a worker surfaces the worker's own
+    traceback in the parent, not a bare pipe error."""
+
+    def bad_app(ctx):
+        yield from ctx.compute_seconds(0.001)
+        if ctx.rank == 2:
+            raise ZeroDivisionError("boom in worker")
+        return ctx.rank
+
+    cfg = ClusterConfig(partition_ranks=4, partition_workers=2)
+    cluster = Cluster(
+        nprocs=4, app_factory=lambda ctx: bad_app(ctx), stack="vcausal", config=cfg
+    )
+    with pytest.raises(SimulationError, match="ZeroDivisionError"):
+        cluster.run()
+
+
+def test_bench_pool_names_lost_scenarios(monkeypatch):
+    """A benchmark worker dying mid-scenario fails the --jobs sweep with
+    an error naming the lost scenarios (BrokenProcessPool breaks every
+    outstanding future; the pool maps them back to names)."""
+    from benchmarks.perf import pool, run_bench
+
+    def fake_scenarios(quick):
+        def ok():
+            return 1, {"events": 1}
+
+        def die():
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        return {"pool_ok": ok, "pool_suicide": die}
+
+    monkeypatch.setattr(run_bench, "scenarios", fake_scenarios)
+    with pytest.raises(RuntimeError, match="pool_suicide"):
+        pool.run_parallel(quick=True, repeats=1, jobs=1, verbose=False)

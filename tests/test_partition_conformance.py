@@ -231,6 +231,21 @@ def test_differential_composes_with_engine_knobs():
         assert_identical("vcausal", ops, 2, 4, **knobs)
 
 
+@pytest.mark.parametrize("stack", LOGGING_STACKS)
+@pytest.mark.parametrize("ranks,workers", [(2, 2), (4, 2), (4, 4)])
+def test_differential_multiprocess_workers(stack, ranks, workers):
+    """partition_workers × partition_ranks × protocol: the forked
+    shared-nothing backend (repro.hostexec) reproduces the in-process
+    facade bit for bit.  tests/test_hostexec_workers.py carries the
+    deeper worker-specific suite (envelope rejection, worker death)."""
+    ops = [("ring", 32_768), ("bcast", 1, 512), ("allreduce", 8)]
+    ref = run_image(stack, ops, 2, 4, partition_ranks=ranks)
+    img = run_image(
+        stack, ops, 2, 4, partition_ranks=ranks, partition_workers=workers
+    )
+    assert img == ref, (stack, ranks, workers)
+
+
 # --------------------------------------------------------------------- #
 # the knob installs what it claims to install
 
